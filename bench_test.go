@@ -1,0 +1,330 @@
+package repro_test
+
+// One benchmark per table and figure of the paper's evaluation: each
+// iteration regenerates the corresponding experiment on a reduced corpus
+// (the shapes are scale-invariant; `cmd/energysim -scale 0.125 all` prints
+// the full-size renditions). Codec throughput benches at the bottom cover
+// the raw compression substrates.
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+// benchConfig keeps per-iteration work bounded.
+func benchConfig() experiment.Config {
+	return experiment.Config{Scale: 1.0 / 80, LargeSubset: 4, SmallSubset: 3}
+}
+
+func BenchmarkTable1PowerStates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Table1()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable2CompressionFactors(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig1TimeComparison(b *testing.B)   { benchSchemeComparison(b, "time") }
+func BenchmarkFig2EnergyComparison(b *testing.B) { benchSchemeComparison(b, "energy") }
+
+func benchSchemeComparison(b *testing.B, metric string) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		comps, err := cfg.SchemeComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := experiment.RenderBars("bench", metric, comps)
+		if len(out) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkFig3IdleBreakdown(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig3IdleBreakdown(500_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4InterleaveScenarios(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig4Scenarios(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5InterleavingTime(b *testing.B)   { benchInterleaving(b, "time") }
+func BenchmarkFig6InterleavingEnergy(b *testing.B) { benchInterleaving(b, "energy") }
+
+func benchInterleaving(b *testing.B, metric string) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		comps, err := cfg.InterleavingComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiment.RenderBars("bench", metric, comps)) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkFig7ModelError(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig7InterleaveErrors(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Fitting(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fits, err := cfg.Fig8Fits()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fits) != 2 {
+			b.Fatal("missing fits")
+		}
+	}
+}
+
+func BenchmarkFig9BitrateError(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig9BitrateErrors(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Selective(b *testing.B) {
+	cfg := experiment.Config{Scale: 1.0 / 80, LargeSubset: 6, SmallSubset: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.SelectiveComparison(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12OnDemandTime(b *testing.B)   { benchOnDemand(b, "time") }
+func BenchmarkFig13OnDemandEnergy(b *testing.B) { benchOnDemand(b, "energy") }
+
+func benchOnDemand(b *testing.B, metric string) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		comps, err := cfg.OnDemandComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiment.RenderBars("bench", metric, comps)) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkThresholdDerivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		th := experiment.Thresholds()
+		if th.FileThresholdBytes <= 0 {
+			b.Fatal("bad threshold")
+		}
+	}
+}
+
+// --- codec substrate throughput ---
+
+func benchData() []byte {
+	return workload.Generate(workload.ClassSource, 512*1024, 7)
+}
+
+func BenchmarkCodecGzipCompress(b *testing.B)     { benchCompress(b, repro.Gzip) }
+func BenchmarkCodecCompressCompress(b *testing.B) { benchCompress(b, repro.Compress) }
+func BenchmarkCodecBzip2Compress(b *testing.B)    { benchCompress(b, repro.Bzip2) }
+
+func benchCompress(b *testing.B, s repro.Scheme) {
+	data := benchData()
+	c, err := repro.NewCodec(s, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecGzipDecompress(b *testing.B)     { benchDecompress(b, repro.Gzip) }
+func BenchmarkCodecCompressDecompress(b *testing.B) { benchDecompress(b, repro.Compress) }
+func BenchmarkCodecBzip2Decompress(b *testing.B)    { benchDecompress(b, repro.Bzip2) }
+
+func benchDecompress(b *testing.B, s repro.Scheme) {
+	data := benchData()
+	c, err := repro.NewCodec(s, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := c.Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(comp, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectiveEncodeMixed(b *testing.B) {
+	data := repro.GenerateMixedFile(1_000_000, 3)
+	c, err := repro.NewCodec(repro.Zlib, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.SelectiveEncode(data, c, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProxyFetchLoopback(b *testing.B) {
+	srv := repro.NewProxyServer(nil)
+	content := []byte(strings.Repeat("loopback benchmark content ", 20000))
+	srv.Register("bench.txt", content)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Precompress("bench.txt", repro.Gzip); err != nil {
+		b.Fatal(err)
+	}
+	cli := repro.NewProxyClient(addr)
+	b.SetBytes(int64(len(content)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := cli.Fetch("bench.txt", repro.Gzip, repro.ProxyPrecompressed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(content) {
+			b.Fatal("short fetch")
+		}
+	}
+}
+
+func BenchmarkUploadExtension(b *testing.B) {
+	cfg := experiment.Config{Scale: 1.0 / 80, LargeSubset: 2}
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.UploadComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkAblationLevels(b *testing.B) {
+	cfg := experiment.Config{Scale: 1.0 / 160}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AblationLevels(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBlockSize(b *testing.B) {
+	cfg := experiment.Config{Scale: 1.0 / 160}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AblationBlockSize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMeterRate(b *testing.B) {
+	cfg := experiment.Config{}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AblationMeterRate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyComparison(b *testing.B) {
+	cfg := experiment.Config{}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.PolicyComparison(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceCapture(b *testing.B) {
+	cfg := experiment.Config{}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Trace(200_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamingGzipRoundTrip(b *testing.B) {
+	data := workload.Generate(workload.ClassSource, 1_000_000, 31)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		zw, err := repro.NewGzipWriter(&buf, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := zw.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			b.Fatal(err)
+		}
+		out, err := io.ReadAll(repro.NewGzipReader(&buf))
+		if err != nil || len(out) != len(data) {
+			b.Fatalf("round trip: %v", err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command corpusgen materialises the synthetic Table 2 corpus to disk so
+// the proxy daemon and external tools can serve the same deterministic
+// files the experiments use.
+//
+// Usage:
+//
+//	corpusgen -out ./corpus -scale 0.125
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		outDir = flag.String("out", "corpus", "output directory")
+		scale  = flag.Float64("scale", 1.0, "size scale for large files (small files keep true sizes)")
+		list   = flag.Bool("list", false, "list the corpus without writing files")
+	)
+	flag.Parse()
+
+	specs := repro.ScaledCorpus(*scale)
+	if *list {
+		fmt.Printf("%-24s %10s %-28s %8s %8s %8s\n", "name", "size", "description", "gzip", "compress", "bzip2")
+		for _, s := range specs {
+			fmt.Printf("%-24s %10d %-28s %8.2f %8.2f %8.2f\n",
+				s.Name, s.Size, s.Description, s.PaperGzip, s.PaperCompress, s.PaperBzip2)
+		}
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	total := 0
+	for _, s := range specs {
+		data := s.Generate()
+		path := filepath.Join(*outDir, s.Name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		total += len(data)
+	}
+	fmt.Printf("wrote %d files (%d bytes) to %s\n", len(specs), total, *outDir)
+	return nil
+}

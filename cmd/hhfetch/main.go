@@ -1,0 +1,132 @@
+// Command hhfetch is the handheld-side client: it downloads a file from a
+// proxyd instance with a chosen scheme and transfer mode, verifies the
+// content, and reports the wire statistics together with the simulated
+// iPAQ energy estimate for the transfer at the chosen link rate.
+//
+// Usage:
+//
+//	hhfetch -addr 127.0.0.1:7070 -list
+//	hhfetch -addr 127.0.0.1:7070 -name nes96.xml -scheme gzip -mode selective -rate 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hhfetch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "proxy address")
+		list       = flag.Bool("list", false, "list server files and exit")
+		name       = flag.String("name", "", "file to fetch")
+		schemeName = flag.String("scheme", "gzip", "scheme: gzip, compress, bzip2, zlib")
+		modeName   = flag.String("mode", "selective", "mode: raw, precompressed, ondemand, selective")
+		rateMbps   = flag.Float64("rate", 11, "nominal link rate for the energy estimate: 11, 5.5, 2, 1")
+		outPath    = flag.String("o", "", "write fetched content to this file")
+	)
+	flag.Parse()
+
+	cli := repro.NewProxyClient(*addr)
+	if *list {
+		names, err := cli.List()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	if *name == "" {
+		return fmt.Errorf("pass -name or -list")
+	}
+	scheme, err := parseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		return err
+	}
+	content, stats, err := cli.Fetch(*name, scheme, mode)
+	if err != nil {
+		return err
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, content, 0o644); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("fetched %q: %d bytes raw, %d on the wire (factor %.3f)\n",
+		*name, stats.RawBytes, stats.WireBytes, stats.Factor)
+	fmt.Printf("blocks: %d total, %d compressed; host decompress wall %.3f ms\n",
+		stats.BlocksTotal, stats.BlocksCompressed, stats.DecompressWall.Seconds()*1000)
+
+	model, err := modelForRate(*rateMbps)
+	if err != nil {
+		return err
+	}
+	s := float64(stats.RawBytes) / 1e6
+	sc := float64(stats.WireBytes) / 1e6
+	plain := model.DownloadEnergy(s)
+	comp := model.InterleavedEnergy(s, sc)
+	fmt.Printf("iPAQ energy estimate at %.1f Mb/s: plain %.4f J, this transfer %.4f J (%.1f%% saving)\n",
+		*rateMbps, plain, comp, (1-comp/plain)*100)
+	return nil
+}
+
+func modelForRate(mbps float64) (repro.EnergyModel, error) {
+	switch mbps {
+	case 11, 5.5, 1:
+		// Only 11 and 2 Mb/s were measured by the paper; intermediate
+		// rates use the 11 Mb/s power structure with scaled timing, which
+		// the model captures via the rate config used in simulation. For
+		// the quick estimate here, 11 Mb/s parameters apply.
+		return repro.Params11Mbps(), nil
+	case 2:
+		return repro.Params2Mbps(), nil
+	default:
+		return repro.EnergyModel{}, fmt.Errorf("unsupported rate %.1f", mbps)
+	}
+}
+
+func parseScheme(name string) (repro.Scheme, error) {
+	switch name {
+	case "gzip":
+		return repro.Gzip, nil
+	case "compress":
+		return repro.Compress, nil
+	case "bzip2":
+		return repro.Bzip2, nil
+	case "zlib":
+		return repro.Zlib, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func parseMode(name string) (repro.ProxyClientMode, error) {
+	switch name {
+	case "raw":
+		return repro.ProxyRaw, nil
+	case "precompressed":
+		return repro.ProxyPrecompressed, nil
+	case "ondemand":
+		return repro.ProxyOnDemand, nil
+	case "selective":
+		return repro.ProxySelective, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", name)
+	}
+}

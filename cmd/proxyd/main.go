@@ -1,0 +1,106 @@
+// Command proxyd runs the proxy server: it registers either a directory of
+// files or the built-in synthetic corpus and serves raw, precompressed,
+// on-demand and selective downloads over TCP.
+//
+// Usage:
+//
+//	proxyd -addr 127.0.0.1:7070 -corpus -scale 0.125
+//	proxyd -addr 127.0.0.1:7070 -dir ./files -precompress gzip
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "proxyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		dir        = flag.String("dir", "", "serve files from this directory")
+		useCorpus  = flag.Bool("corpus", false, "serve the built-in synthetic Table 2 corpus")
+		scale      = flag.Float64("scale", 0.125, "corpus size scale")
+		precompSch = flag.String("precompress", "", "precompress all files with this scheme (gzip, compress, bzip2, zlib)")
+	)
+	flag.Parse()
+
+	srv := repro.NewProxyServer(nil)
+	count := 0
+	switch {
+	case *dir != "":
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(*dir, e.Name()))
+			if err != nil {
+				return err
+			}
+			srv.Register(e.Name(), data)
+			count++
+		}
+	case *useCorpus:
+		for _, s := range repro.ScaledCorpus(*scale) {
+			srv.Register(s.Name, s.Generate())
+			count++
+		}
+	default:
+		return fmt.Errorf("pass -dir or -corpus")
+	}
+
+	if *precompSch != "" {
+		scheme, err := parseScheme(*precompSch)
+		if err != nil {
+			return err
+		}
+		for _, name := range srv.Files() {
+			if err := srv.Precompress(name, scheme); err != nil {
+				return fmt.Errorf("precompress %s: %w", name, err)
+			}
+		}
+		fmt.Printf("precompressed %d files with %v\n", count, scheme)
+	}
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("proxyd serving %d files on %s\n", count, bound)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	fmt.Println("shutting down")
+	return srv.Close()
+}
+
+func parseScheme(name string) (repro.Scheme, error) {
+	switch name {
+	case "gzip":
+		return repro.Gzip, nil
+	case "compress":
+		return repro.Compress, nil
+	case "bzip2":
+		return repro.Bzip2, nil
+	case "zlib":
+		return repro.Zlib, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", name)
+	}
+}

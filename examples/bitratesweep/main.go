@@ -1,0 +1,66 @@
+// Bitratesweep: show how the compression trade-off shifts with the
+// wireless link rate (Section 4.2): at 11 Mb/s only factors above ~1.13
+// pay off, while at 2 Mb/s communication is so expensive that almost any
+// compression wins, and filling all idle time would need a factor of ~27.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One representative binary (factor ~2.3) at each rate point.
+	data := repro.ScaledCorpus(0.1)
+	var binary []byte
+	for _, s := range data {
+		if s.Name == "input.program" {
+			binary = s.Generate()
+		}
+	}
+	if binary == nil {
+		return fmt.Errorf("corpus file missing")
+	}
+
+	fmt.Printf("%-8s %12s %12s %12s %10s\n", "rate", "plain J", "gzip J", "saving", "stall s")
+	for _, rate := range []repro.RateConfig{
+		repro.Rate11Mbps(), repro.Rate5_5Mbps(), repro.Rate2Mbps(), repro.Rate1Mbps(),
+	} {
+		plain, err := repro.RunExperiment(repro.ExperimentSpec{
+			Data: binary, Mode: repro.ModePlain, Rate: rate,
+		})
+		if err != nil {
+			return err
+		}
+		comp, err := repro.RunExperiment(repro.ExperimentSpec{
+			Data: binary, Scheme: repro.Gzip, Mode: repro.ModeInterleaved, Rate: rate,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %12.3f %12.3f %11.1f%% %10.3f\n",
+			rate.Name, plain.ExactEnergyJ, comp.ExactEnergyJ,
+			(1-comp.ExactEnergyJ/plain.ExactEnergyJ)*100, comp.StallSeconds.Seconds())
+	}
+
+	fmt.Println("\nmodel-derived break-even factors (large file):")
+	for _, m := range []struct {
+		name  string
+		model repro.EnergyModel
+	}{
+		{"11Mb/s", repro.Params11Mbps()},
+		{"2Mb/s", repro.Params2Mbps()},
+	} {
+		fmt.Printf("  %-8s need factor > %.3f; fill-idle factor %.1f\n",
+			m.name, m.model.ThresholdFactor(4.0), m.model.FillIdleFactor())
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Upload: the extension the paper's introduction raises — the handheld
+// uploads "lively captured voice and pictures" through the proxy. The
+// trade-off reverses: the handheld's slow CPU pays for compression while
+// the radio saving stays the same, so the effort level matters far more
+// than on downloads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Captured voice: correlated PCM samples, gzip factor ~1.3-2.
+	voice := voiceData(1_500_000)
+	// Captured notes: text, factor ~4+.
+	var notes []byte
+	for _, s := range repro.ScaledCorpus(0.15) {
+		if s.Name == "input.source" {
+			notes = s.Generate()
+		}
+	}
+
+	for _, payload := range []struct {
+		name string
+		data []byte
+	}{{"voice recording (PCM)", voice}, {"meeting notes (text)", notes}} {
+		fmt.Printf("=== uploading %s (%d bytes) ===\n", payload.name, len(payload.data))
+		fmt.Printf("%-20s %8s %12s %12s %10s\n", "strategy", "factor", "time s", "energy J", "stall s")
+
+		plain, err := repro.RunUpload(repro.UploadSpec{Data: payload.data})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %8.2f %12.3f %12.3f %10.3f\n",
+			"raw", 1.0, plain.TotalSeconds.Seconds(), plain.ExactEnergyJ, 0.0)
+
+		for _, strat := range []struct {
+			label     string
+			level     int
+			selective bool
+		}{
+			{"zlib -9", 9, false},
+			{"zlib -1", 1, false},
+			{"zlib -1 adaptive", 1, true},
+		} {
+			res, err := repro.RunUpload(repro.UploadSpec{
+				Data: payload.data, Scheme: repro.Zlib, Level: strat.level,
+				Compressed: true, Selective: strat.selective,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s %8.2f %12.3f %12.3f %10.3f\n",
+				strat.label, res.Factor, res.TotalSeconds.Seconds(),
+				res.ExactEnergyJ, res.StallSeconds.Seconds())
+		}
+		fmt.Println()
+	}
+	fmt.Println("on the 206 MHz handheld, maximum-effort compression nearly cancels the radio")
+	fmt.Println("saving; a light effort level keeps most of the factor at a fraction of the CPU cost.")
+	fmt.Println("the adaptive uploader probes each block with a small sample and ships barely-")
+	fmt.Println("compressible data raw, bounding the loss to the probe overhead.")
+	return nil
+}
+
+// voiceData synthesises correlated 16-bit PCM, like a dictation recording.
+func voiceData(n int) []byte {
+	out := make([]byte, n)
+	level := 0
+	seed := uint32(12345)
+	for i := 0; i+1 < n; i += 2 {
+		seed = seed*1664525 + 1013904223
+		level += int(seed%129) - 64
+		if level > 30000 {
+			level = 30000
+		}
+		if level < -30000 {
+			level = -30000
+		}
+		out[i] = byte(level)
+		out[i+1] = byte(level >> 8)
+	}
+	return out
+}

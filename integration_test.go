@@ -1,0 +1,167 @@
+package repro_test
+
+// System-level integration tests: the whole corpus, every scheme, every
+// proxy mode, content verified end to end over real sockets; and the
+// simulated experiment stack cross-checked against the analytic model on
+// the same bytes.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// TestCorpusThroughProxyAllModes serves a miniature full corpus and
+// fetches every file in every mode with every scheme, verifying content.
+func TestCorpusThroughProxyAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus proxy sweep")
+	}
+	srv := repro.NewProxyServer(nil)
+	specs := repro.ScaledCorpus(0.01)
+	contents := make(map[string][]byte, len(specs))
+	for _, s := range specs {
+		data := s.Generate()
+		contents[s.Name] = data
+		srv.Register(s.Name, data)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := repro.NewProxyClient(addr)
+
+	names, err := cli.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(specs) {
+		t.Fatalf("listed %d files, registered %d", len(names), len(specs))
+	}
+
+	for _, name := range names {
+		for _, scheme := range []repro.Scheme{repro.Gzip, repro.Compress, repro.Bzip2, repro.Zlib} {
+			for _, mode := range []repro.ProxyClientMode{repro.ProxyRaw, repro.ProxyOnDemand, repro.ProxySelective} {
+				got, stats, err := cli.Fetch(name, scheme, mode)
+				if err != nil {
+					t.Fatalf("%s/%v/%v: %v", name, scheme, mode, err)
+				}
+				if !bytes.Equal(got, contents[name]) {
+					t.Fatalf("%s/%v/%v: content mismatch", name, scheme, mode)
+				}
+				if stats.RawBytes != len(contents[name]) {
+					t.Fatalf("%s/%v/%v: raw bytes %d", name, scheme, mode, stats.RawBytes)
+				}
+			}
+		}
+	}
+}
+
+// TestSimulationAgreesWithModelAcrossCorpus runs the interleaved pipeline
+// over a corpus slice and cross-checks against the analytic model; this is
+// the end-to-end statement of Figure 7 through the public API.
+func TestSimulationAgreesWithModelAcrossCorpus(t *testing.T) {
+	model := repro.Params11Mbps()
+	checked := 0
+	for _, spec := range repro.ScaledCorpus(0.1) {
+		if !spec.Large || spec.PaperGzip < 1.5 {
+			continue
+		}
+		data := spec.Generate()
+		res, err := repro.RunExperiment(repro.ExperimentSpec{
+			Data: data, Scheme: repro.Zlib, Mode: repro.ModeInterleaved,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := float64(res.RawBytes) / 1e6
+		sc := float64(res.WireBytes) / 1e6
+		pred := model.InterleavedEnergy(s, sc)
+		if rel := math.Abs(pred-res.ExactEnergyJ) / res.ExactEnergyJ; rel > 0.08 {
+			t.Errorf("%s: model %.4f vs sim %.4f (%.1f%%)", spec.Name, pred, res.ExactEnergyJ, rel*100)
+		}
+		checked++
+		if checked >= 8 {
+			break
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d files checked", checked)
+	}
+}
+
+// TestEndToEndDecisionAgreement: the selective scheme's per-file outcome
+// must agree with the whole-file Equation 6 decision for single-block
+// files.
+func TestEndToEndDecisionAgreement(t *testing.T) {
+	c, err := repro.NewCodec(repro.Zlib, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"compressible", workload.Generate(workload.ClassXML, 100_000, 1)},
+		{"incompressible", workload.Generate(workload.ClassRandom, 100_000, 2)},
+		{"tiny", workload.Generate(workload.ClassMail, 2_000, 3)},
+	}
+	for _, tc := range cases {
+		stream, stats, err := repro.SelectiveEncode(tc.data, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := c.Compress(tc.data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := repro.ShouldCompress(len(tc.data), len(comp)) && len(tc.data) >= repro.FileThresholdBytes
+		got := stats.BlocksCompressed > 0
+		if got != want {
+			t.Errorf("%s: selective compressed=%v, Eq.6 says %v", tc.name, got, want)
+		}
+		back, err := repro.SelectiveDecode(stream, 0)
+		if err != nil || !bytes.Equal(back, tc.data) {
+			t.Fatalf("%s: round trip: %v", tc.name, err)
+		}
+	}
+}
+
+// TestFullStackDownloadVsUploadAsymmetry: through the public API, confirm
+// the reproduction's extension finding — level 9 is right for downloads
+// (server compresses) and wrong for uploads (handheld compresses).
+func TestFullStackDownloadVsUploadAsymmetry(t *testing.T) {
+	data := workload.Generate(workload.ClassSource, 1_200_000, 9)
+
+	down, err := repro.RunExperiment(repro.ExperimentSpec{
+		Data: data, Scheme: repro.Zlib, Mode: repro.ModeInterleaved,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	downPlain, err := repro.RunExperiment(repro.ExperimentSpec{Data: data, Mode: repro.ModePlain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(down.ExactEnergyJ < downPlain.ExactEnergyJ*0.6) {
+		t.Errorf("download at level 9 should save >40%%: %.3f vs %.3f",
+			down.ExactEnergyJ, downPlain.ExactEnergyJ)
+	}
+
+	upSlow, err := repro.RunUpload(repro.UploadSpec{Data: data, Scheme: repro.Zlib, Level: 9, Compressed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upFast, err := repro.RunUpload(repro.UploadSpec{Data: data, Scheme: repro.Zlib, Level: 1, Compressed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(upFast.ExactEnergyJ < upSlow.ExactEnergyJ) {
+		t.Errorf("upload should prefer the fast level: %.3f vs %.3f",
+			upFast.ExactEnergyJ, upSlow.ExactEnergyJ)
+	}
+}

@@ -1,0 +1,351 @@
+// Package bitio provides bit-level readers and writers in both LSB-first
+// (DEFLATE, LZW .Z) and MSB-first (bzip2) packing orders.
+//
+// All types buffer internally and surface I/O errors through a sticky error
+// returned from Flush/Err so that hot encode loops do not need per-call error
+// checks.
+package bitio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrBitOverflow is returned when a caller asks to write or read more than 57
+// bits in a single call, which exceeds the accumulator guarantee.
+var ErrBitOverflow = errors.New("bitio: bit count out of range")
+
+const maxBitsPerCall = 57
+
+// LSBWriter packs bits least-significant-bit first, the order used by DEFLATE
+// and by the LZW .Z format.
+type LSBWriter struct {
+	w   io.Writer
+	acc uint64
+	n   uint
+	buf []byte
+	err error
+}
+
+// NewLSBWriter returns an LSBWriter emitting to w.
+func NewLSBWriter(w io.Writer) *LSBWriter {
+	return &LSBWriter{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// WriteBits writes the low n bits of v, LSB first. n must be <= 57.
+func (bw *LSBWriter) WriteBits(v uint64, n uint) {
+	if bw.err != nil {
+		return
+	}
+	if n > maxBitsPerCall {
+		bw.err = ErrBitOverflow
+		return
+	}
+	bw.acc |= (v & ((1 << n) - 1)) << bw.n
+	bw.n += n
+	for bw.n >= 8 {
+		bw.buf = append(bw.buf, byte(bw.acc))
+		bw.acc >>= 8
+		bw.n -= 8
+		if len(bw.buf) >= 4096 {
+			bw.drain()
+		}
+	}
+}
+
+// WriteBytes writes whole bytes. The writer must be byte-aligned.
+func (bw *LSBWriter) WriteBytes(p []byte) {
+	if bw.err != nil {
+		return
+	}
+	if bw.n != 0 {
+		bw.err = errors.New("bitio: WriteBytes on unaligned writer")
+		return
+	}
+	bw.drain()
+	if _, err := bw.w.Write(p); err != nil {
+		bw.err = err
+	}
+}
+
+// Align pads with zero bits to the next byte boundary.
+func (bw *LSBWriter) Align() {
+	if bw.n > 0 {
+		bw.buf = append(bw.buf, byte(bw.acc))
+		bw.acc = 0
+		bw.n = 0
+	}
+}
+
+func (bw *LSBWriter) drain() {
+	if len(bw.buf) == 0 || bw.err != nil {
+		return
+	}
+	if _, err := bw.w.Write(bw.buf); err != nil {
+		bw.err = err
+	}
+	bw.buf = bw.buf[:0]
+}
+
+// Flush aligns to a byte boundary, drains buffered bytes and reports the
+// first error encountered.
+func (bw *LSBWriter) Flush() error {
+	bw.Align()
+	bw.drain()
+	return bw.err
+}
+
+// Err reports the sticky error, if any.
+func (bw *LSBWriter) Err() error { return bw.err }
+
+// LSBReader unpacks bits least-significant-bit first.
+type LSBReader struct {
+	r   io.Reader
+	acc uint64
+	n   uint
+	buf []byte
+	pos int
+	err error
+}
+
+// NewLSBReader returns an LSBReader consuming from r.
+func NewLSBReader(r io.Reader) *LSBReader {
+	return &LSBReader{r: r, buf: make([]byte, 0, 4096)}
+}
+
+func (br *LSBReader) fill(need uint) bool {
+	for br.n < need {
+		if br.pos >= len(br.buf) {
+			if br.err != nil {
+				return false
+			}
+			b := br.buf[:cap(br.buf)]
+			n, err := br.r.Read(b)
+			br.buf = b[:n]
+			br.pos = 0
+			if err != nil {
+				br.err = err
+			}
+			if n == 0 {
+				if br.err == nil {
+					br.err = io.ErrUnexpectedEOF
+				}
+				return false
+			}
+		}
+		br.acc |= uint64(br.buf[br.pos]) << br.n
+		br.pos++
+		br.n += 8
+	}
+	return true
+}
+
+// ReadBits reads n bits, LSB first. On error it returns 0 and records the
+// error, observable via Err.
+func (br *LSBReader) ReadBits(n uint) uint64 {
+	if n > maxBitsPerCall {
+		if br.err == nil {
+			br.err = ErrBitOverflow
+		}
+		return 0
+	}
+	if !br.fill(n) {
+		return 0
+	}
+	v := br.acc & ((1 << n) - 1)
+	br.acc >>= n
+	br.n -= n
+	return v
+}
+
+// ReadBit reads a single bit.
+func (br *LSBReader) ReadBit() uint64 { return br.ReadBits(1) }
+
+// Align discards bits up to the next byte boundary.
+func (br *LSBReader) Align() {
+	drop := br.n % 8
+	br.acc >>= drop
+	br.n -= drop
+}
+
+// ReadBytes reads exactly len(p) whole bytes. The reader must be aligned.
+func (br *LSBReader) ReadBytes(p []byte) error {
+	if br.n%8 != 0 {
+		return errors.New("bitio: ReadBytes on unaligned reader")
+	}
+	for i := range p {
+		if !br.fill(8) {
+			return br.errOrEOF()
+		}
+		p[i] = byte(br.acc)
+		br.acc >>= 8
+		br.n -= 8
+	}
+	return nil
+}
+
+func (br *LSBReader) errOrEOF() error {
+	if br.err == nil {
+		return io.ErrUnexpectedEOF
+	}
+	return br.err
+}
+
+// Err reports the sticky error, if any. io.EOF is reported once input is
+// exhausted and a read went past the end.
+func (br *LSBReader) Err() error {
+	if br.err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return br.err
+}
+
+// AtEOF reports whether all buffered bits are consumed and the source
+// returned EOF.
+func (br *LSBReader) AtEOF() bool {
+	if br.n > 0 || br.pos < len(br.buf) {
+		return false
+	}
+	if br.err != nil {
+		return true
+	}
+	// Peek one byte ahead.
+	if br.fill(8) {
+		return false
+	}
+	return true
+}
+
+// MSBWriter packs bits most-significant-bit first, the order used by bzip2.
+type MSBWriter struct {
+	w   io.Writer
+	acc uint64
+	n   uint
+	buf []byte
+	err error
+}
+
+// NewMSBWriter returns an MSBWriter emitting to w.
+func NewMSBWriter(w io.Writer) *MSBWriter {
+	return &MSBWriter{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// WriteBits writes the low n bits of v with the most significant of those
+// bits first. n must be <= 57.
+func (bw *MSBWriter) WriteBits(v uint64, n uint) {
+	if bw.err != nil {
+		return
+	}
+	if n > maxBitsPerCall {
+		bw.err = ErrBitOverflow
+		return
+	}
+	bw.acc = (bw.acc << n) | (v & ((1 << n) - 1))
+	bw.n += n
+	for bw.n >= 8 {
+		bw.buf = append(bw.buf, byte(bw.acc>>(bw.n-8)))
+		bw.n -= 8
+		if len(bw.buf) >= 4096 {
+			bw.drain()
+		}
+	}
+	bw.acc &= (1 << bw.n) - 1
+}
+
+func (bw *MSBWriter) drain() {
+	if len(bw.buf) == 0 || bw.err != nil {
+		return
+	}
+	if _, err := bw.w.Write(bw.buf); err != nil {
+		bw.err = err
+	}
+	bw.buf = bw.buf[:0]
+}
+
+// Flush pads with zero bits to a byte boundary, drains and reports the first
+// error.
+func (bw *MSBWriter) Flush() error {
+	if bw.n > 0 {
+		bw.buf = append(bw.buf, byte(bw.acc<<(8-bw.n)))
+		bw.acc = 0
+		bw.n = 0
+	}
+	bw.drain()
+	return bw.err
+}
+
+// Err reports the sticky error, if any.
+func (bw *MSBWriter) Err() error { return bw.err }
+
+// MSBReader unpacks bits most-significant-bit first.
+type MSBReader struct {
+	r   io.Reader
+	acc uint64
+	n   uint
+	buf []byte
+	pos int
+	err error
+}
+
+// NewMSBReader returns an MSBReader consuming from r.
+func NewMSBReader(r io.Reader) *MSBReader {
+	return &MSBReader{r: r, buf: make([]byte, 0, 4096)}
+}
+
+func (br *MSBReader) fill(need uint) bool {
+	for br.n < need {
+		if br.pos >= len(br.buf) {
+			if br.err != nil {
+				return false
+			}
+			b := br.buf[:cap(br.buf)]
+			n, err := br.r.Read(b)
+			br.buf = b[:n]
+			br.pos = 0
+			if err != nil {
+				br.err = err
+			}
+			if n == 0 {
+				if br.err == nil {
+					br.err = io.ErrUnexpectedEOF
+				}
+				return false
+			}
+		}
+		br.acc = (br.acc << 8) | uint64(br.buf[br.pos])
+		br.pos++
+		br.n += 8
+	}
+	return true
+}
+
+// ReadBits reads n bits MSB first.
+func (br *MSBReader) ReadBits(n uint) uint64 {
+	if n > maxBitsPerCall {
+		if br.err == nil {
+			br.err = ErrBitOverflow
+		}
+		return 0
+	}
+	if n == 0 {
+		return 0
+	}
+	if !br.fill(n) {
+		return 0
+	}
+	v := (br.acc >> (br.n - n)) & ((1 << n) - 1)
+	br.n -= n
+	br.acc &= (1 << br.n) - 1
+	return v
+}
+
+// ReadBit reads a single bit.
+func (br *MSBReader) ReadBit() uint64 { return br.ReadBits(1) }
+
+// Err reports the sticky error, if any.
+func (br *MSBReader) Err() error {
+	if br.err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return br.err
+}

@@ -1,0 +1,302 @@
+package bitio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLSBWriteRead(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewLSBWriter(&buf)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b11111111, 8)
+	w.WriteBits(0, 5)
+	w.WriteBits(0x1234, 16)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	r := NewLSBReader(&buf)
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Errorf("got %b, want 101", got)
+	}
+	if got := r.ReadBits(8); got != 0xff {
+		t.Errorf("got %x, want ff", got)
+	}
+	if got := r.ReadBits(5); got != 0 {
+		t.Errorf("got %x, want 0", got)
+	}
+	if got := r.ReadBits(16); got != 0x1234 {
+		t.Errorf("got %x, want 1234", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestMSBWriteRead(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewMSBWriter(&buf)
+	w.WriteBits(0b1, 1)
+	w.WriteBits(0b0110, 4)
+	w.WriteBits(0xABC, 12)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	r := NewMSBReader(&buf)
+	if got := r.ReadBits(1); got != 1 {
+		t.Errorf("bit: got %d", got)
+	}
+	if got := r.ReadBits(4); got != 0b0110 {
+		t.Errorf("got %b", got)
+	}
+	if got := r.ReadBits(12); got != 0xABC {
+		t.Errorf("got %x", got)
+	}
+}
+
+func TestMSBFirstBitIsHighBitOfByte(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewMSBWriter(&buf)
+	w.WriteBits(1, 1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[0] != 0x80 {
+		t.Errorf("msb-first single 1 bit should give 0x80, got %#x", buf.Bytes()[0])
+	}
+}
+
+func TestLSBFirstBitIsLowBitOfByte(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewLSBWriter(&buf)
+	w.WriteBits(1, 1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[0] != 0x01 {
+		t.Errorf("lsb-first single 1 bit should give 0x01, got %#x", buf.Bytes()[0])
+	}
+}
+
+func TestLSBAlign(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewLSBWriter(&buf)
+	w.WriteBits(1, 1)
+	w.Align()
+	w.WriteBits(0xAA, 8)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x01, 0xAA}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("got %x, want %x", buf.Bytes(), want)
+	}
+	r := NewLSBReader(&buf)
+	r.ReadBits(1)
+	r.Align()
+	if got := r.ReadBits(8); got != 0xAA {
+		t.Errorf("after align got %x", got)
+	}
+}
+
+func TestLSBWriteBytes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewLSBWriter(&buf)
+	w.WriteBits(3, 2)
+	w.Align()
+	w.WriteBytes([]byte{1, 2, 3})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x03, 1, 2, 3}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("got %x want %x", buf.Bytes(), want)
+	}
+}
+
+func TestLSBWriteBytesUnaligned(t *testing.T) {
+	w := NewLSBWriter(io.Discard)
+	w.WriteBits(1, 1)
+	w.WriteBytes([]byte{1})
+	if w.Err() == nil {
+		t.Fatal("expected error writing bytes unaligned")
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	r := NewLSBReader(bytes.NewReader([]byte{0xff}))
+	r.ReadBits(8)
+	r.ReadBits(1)
+	if r.Err() == nil {
+		t.Fatal("expected error reading past EOF")
+	}
+	m := NewMSBReader(bytes.NewReader([]byte{0xff}))
+	m.ReadBits(8)
+	m.ReadBits(1)
+	if m.Err() == nil {
+		t.Fatal("expected error reading past EOF (msb)")
+	}
+}
+
+func TestBitOverflow(t *testing.T) {
+	w := NewLSBWriter(io.Discard)
+	w.WriteBits(0, 58)
+	if !errors.Is(w.Err(), ErrBitOverflow) {
+		t.Fatalf("want ErrBitOverflow, got %v", w.Err())
+	}
+	r := NewLSBReader(bytes.NewReader(make([]byte, 16)))
+	r.ReadBits(58)
+	if !errors.Is(r.Err(), ErrBitOverflow) {
+		t.Fatalf("want ErrBitOverflow, got %v", r.Err())
+	}
+}
+
+func TestAtEOF(t *testing.T) {
+	r := NewLSBReader(bytes.NewReader([]byte{0xff}))
+	if r.AtEOF() {
+		t.Fatal("AtEOF before reading")
+	}
+	r.ReadBits(8)
+	if !r.AtEOF() {
+		t.Fatal("expected AtEOF after consuming all bits")
+	}
+}
+
+// quickSeq is a sequence of (value, width) pairs used by the round-trip
+// properties.
+type quickSeq struct {
+	vals   []uint64
+	widths []uint
+}
+
+func genSeq(r *rand.Rand) quickSeq {
+	n := r.Intn(200) + 1
+	s := quickSeq{vals: make([]uint64, n), widths: make([]uint, n)}
+	for i := 0; i < n; i++ {
+		w := uint(r.Intn(57) + 1)
+		s.widths[i] = w
+		s.vals[i] = r.Uint64() & ((1 << w) - 1)
+	}
+	return s
+}
+
+func TestQuickLSBRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		s := genSeq(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		w := NewLSBWriter(&buf)
+		for i, v := range s.vals {
+			w.WriteBits(v, s.widths[i])
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewLSBReader(&buf)
+		for i, want := range s.vals {
+			if got := r.ReadBits(s.widths[i]); got != want {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMSBRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		s := genSeq(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		w := NewMSBWriter(&buf)
+		for i, v := range s.vals {
+			w.WriteBits(v, s.widths[i])
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewMSBReader(&buf)
+		for i, want := range s.vals {
+			if got := r.ReadBits(s.widths[i]); got != want {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("boom")
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestWriterPropagatesError(t *testing.T) {
+	w := NewLSBWriter(&failWriter{after: 0})
+	for i := 0; i < 10000; i++ {
+		w.WriteBits(0xff, 8)
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("expected write error to propagate")
+	}
+}
+
+func TestMSBReadBitSequence(t *testing.T) {
+	r := NewMSBReader(bytes.NewReader([]byte{0b10110100}))
+	want := []uint64{1, 0, 1, 1, 0, 1, 0, 0}
+	for i, w := range want {
+		if got := r.ReadBit(); got != w {
+			t.Fatalf("bit %d: got %d want %d", i, got, w)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestLSBReadBytesAfterBits(t *testing.T) {
+	r := NewLSBReader(bytes.NewReader([]byte{0xAB, 0x01, 0x02, 0x03}))
+	if got := r.ReadBits(8); got != 0xAB {
+		t.Fatalf("got %x", got)
+	}
+	buf := make([]byte, 3)
+	if err := r.ReadBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {
+		t.Fatalf("got %v", buf)
+	}
+	// Reading past the end must error.
+	if err := r.ReadBytes(make([]byte, 1)); err == nil {
+		t.Fatal("read past end accepted")
+	}
+}
+
+func TestLSBReadBytesUnaligned(t *testing.T) {
+	r := NewLSBReader(bytes.NewReader([]byte{0xFF, 0xFF}))
+	r.ReadBits(3)
+	if err := r.ReadBytes(make([]byte, 1)); err == nil {
+		t.Fatal("unaligned ReadBytes accepted")
+	}
+}
+
+func TestMSBWriterErr(t *testing.T) {
+	w := NewMSBWriter(&failWriter{after: 0})
+	for i := 0; i < 10000; i++ {
+		w.WriteBits(0x55, 8)
+	}
+	if w.Err() == nil && w.Flush() == nil {
+		t.Fatal("write error not surfaced")
+	}
+}

@@ -1,0 +1,178 @@
+package bwt
+
+// mtfEncode move-to-front codes data over the full byte alphabet: each
+// output value is the current list index of the input byte, which is then
+// moved to the front. BWT output is dominated by small indices.
+func mtfEncode(data []byte) []byte {
+	var list [256]byte
+	for i := range list {
+		list[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for k, b := range data {
+		idx := 0
+		for list[idx] != b {
+			idx++
+		}
+		out[k] = byte(idx)
+		copy(list[1:idx+1], list[:idx])
+		list[0] = b
+	}
+	return out
+}
+
+// mtfDecode inverts mtfEncode.
+func mtfDecode(data []byte) []byte {
+	var list [256]byte
+	for i := range list {
+		list[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for k, idx := range data {
+		b := list[idx]
+		out[k] = b
+		copy(list[1:int(idx)+1], list[:idx])
+		list[0] = b
+	}
+	return out
+}
+
+// RLE1 is bzip2's pre-sort run-length pass: a run of 4..255 equal bytes is
+// emitted as the 4 bytes followed by a count byte (run-4). Its purpose in
+// bzip2 is to bound sorter worst cases on long runs; we keep it for the
+// same reason and for format fidelity.
+
+func rle1Encode(data []byte) []byte {
+	out := make([]byte, 0, len(data)+len(data)/64+16)
+	for i := 0; i < len(data); {
+		b := data[i]
+		j := i + 1
+		for j < len(data) && data[j] == b && j-i < 255+4 {
+			j++
+		}
+		run := j - i
+		if run >= 4 {
+			out = append(out, b, b, b, b, byte(run-4))
+		} else {
+			for k := 0; k < run; k++ {
+				out = append(out, b)
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+func rle1Decode(data []byte) ([]byte, error) {
+	out := make([]byte, 0, len(data)*2)
+	runLen := 0
+	var prev byte
+	for i := 0; i < len(data); i++ {
+		b := data[i]
+		if runLen == 4 {
+			// b is the extension count for the preceding run of four.
+			for k := 0; k < int(b); k++ {
+				out = append(out, prev)
+			}
+			runLen = 0
+			continue
+		}
+		if len(out) > 0 && b == prev {
+			runLen++
+		} else {
+			runLen = 1
+		}
+		prev = b
+		out = append(out, b)
+	}
+	if runLen == 4 {
+		return nil, errMissingRunCount
+	}
+	return out, nil
+}
+
+// RLE2: the MTF stream's zero runs are recoded in bijective base 2 using
+// the RUNA/RUNB symbols, exactly as bzip2 does; nonzero MTF values v map to
+// symbol v+1 and EOB terminates the block.
+const (
+	symRUNA = 0
+	symRUNB = 1
+	symEOB  = 257
+	// numSymbols is RUNA, RUNB, 255 shifted MTF values (1..255 -> 2..256)
+	// and EOB.
+	numSymbols = 258
+)
+
+// rle2Encode converts MTF output to the RUNA/RUNB symbol stream,
+// terminated by EOB.
+func rle2Encode(mtf []byte) []uint16 {
+	out := make([]uint16, 0, len(mtf)/2+16)
+	run := 0
+	flush := func() {
+		for run > 0 {
+			if run&1 == 1 {
+				out = append(out, symRUNA)
+				run = (run - 1) >> 1
+			} else {
+				out = append(out, symRUNB)
+				run = (run - 2) >> 1
+			}
+		}
+	}
+	for _, v := range mtf {
+		if v == 0 {
+			run++
+			continue
+		}
+		flush()
+		out = append(out, uint16(v)+1)
+	}
+	flush()
+	out = append(out, symEOB)
+	return out
+}
+
+// rle2Decode inverts rle2Encode; the input must be EOB-terminated.
+func rle2Decode(syms []uint16, maxSize int) ([]byte, error) {
+	out := make([]byte, 0, len(syms)*2)
+	run, bit := 0, 0
+	flush := func() bool {
+		if run == 0 {
+			return true
+		}
+		if maxSize > 0 && len(out)+run > maxSize {
+			return false
+		}
+		for k := 0; k < run; k++ {
+			out = append(out, 0)
+		}
+		run, bit = 0, 0
+		return true
+	}
+	for _, s := range syms {
+		switch {
+		case s == symRUNA:
+			run += 1 << bit
+			bit++
+		case s == symRUNB:
+			run += 2 << bit
+			bit++
+		case s == symEOB:
+			if !flush() {
+				return nil, errBlockTooLarge
+			}
+			return out, nil
+		case s <= 256:
+			if !flush() {
+				return nil, errBlockTooLarge
+			}
+			if maxSize > 0 && len(out) >= maxSize {
+				return nil, errBlockTooLarge
+			}
+			out = append(out, byte(s-1))
+		default:
+			return nil, errBadSymbol
+		}
+	}
+	return nil, errMissingEOB
+}

@@ -1,0 +1,152 @@
+// Package bwt implements a bzip2-style block-sorting compressor, the third
+// scheme measured by the paper: per block, an initial run-length pass
+// (RLE1), the Burrows-Wheeler transform, move-to-front coding, a zero-run
+// coder (RLE2 with RUNA/RUNB symbols) and canonical Huffman coding.
+//
+// Relative to bzip2 1.0.1 the framing is simplified — one Huffman table per
+// block instead of up to six with selectors — which costs a few percent of
+// compression factor but preserves the computational profile the paper's
+// conclusions rest on: noticeably deeper compression than the Lempel-Ziv
+// schemes, at a decompression cost several times higher.
+package bwt
+
+// Transform computes the Burrows-Wheeler transform of block: the last
+// column of the sorted cyclic-rotation matrix, plus the row index at which
+// the original block appears.
+func Transform(block []byte) ([]byte, int) {
+	n := len(block)
+	if n == 0 {
+		return nil, 0
+	}
+	sa := cyclicSort(block)
+	last := make([]byte, n)
+	ptr := 0
+	for i, p := range sa {
+		if p == 0 {
+			ptr = i
+			last[i] = block[n-1]
+		} else {
+			last[i] = block[p-1]
+		}
+	}
+	return last, ptr
+}
+
+// cyclicSort returns the start indices of the cyclic rotations of s in
+// lexicographic order, using prefix doubling with counting sorts
+// (Manber-Myers), O(n log n).
+func cyclicSort(s []byte) []int {
+	n := len(s)
+	sa := make([]int, n)
+	rank := make([]int, n)
+	tmp := make([]int, n)
+	newRank := make([]int, n)
+	cntSize := n
+	if cntSize < 256 {
+		cntSize = 256
+	}
+	cnt := make([]int, cntSize+1)
+
+	// Initial counting sort by first byte.
+	for i := 0; i < 256; i++ {
+		cnt[i] = 0
+	}
+	for _, c := range s {
+		cnt[c]++
+	}
+	for i := 1; i < 256; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := n - 1; i >= 0; i-- {
+		cnt[s[i]]--
+		sa[cnt[s[i]]] = i
+	}
+	rank[sa[0]] = 0
+	classes := 1
+	for i := 1; i < n; i++ {
+		if s[sa[i]] != s[sa[i-1]] {
+			classes++
+		}
+		rank[sa[i]] = classes - 1
+	}
+
+	// Stop at k >= n as well as classes == n: periodic inputs (e.g. "abab")
+	// contain identical rotations that never separate into distinct
+	// classes, and identical rotations may appear in any relative order
+	// without affecting the transform.
+	for k := 1; classes < n && k < n; k <<= 1 {
+		// Order by second key: shifting each start back by k gives a
+		// sequence already sorted by rank[(i+k) mod n].
+		for i := 0; i < n; i++ {
+			tmp[i] = sa[i] - k
+			if tmp[i] < 0 {
+				tmp[i] += n
+			}
+		}
+		// Stable counting sort by first key rank[tmp[i]].
+		for i := 0; i < classes; i++ {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[rank[tmp[i]]]++
+		}
+		for i := 1; i < classes; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := n - 1; i >= 0; i-- {
+			c := rank[tmp[i]]
+			cnt[c]--
+			sa[cnt[c]] = tmp[i]
+		}
+		// Recompute equivalence classes on (rank[i], rank[i+k]).
+		newRank[sa[0]] = 0
+		classes = 1
+		for i := 1; i < n; i++ {
+			cur := [2]int{rank[sa[i]], rank[(sa[i]+k)%n]}
+			prev := [2]int{rank[sa[i-1]], rank[(sa[i-1]+k)%n]}
+			if cur != prev {
+				classes++
+			}
+			newRank[sa[i]] = classes - 1
+		}
+		rank, newRank = newRank, rank
+	}
+	return sa
+}
+
+// Inverse reconstructs the original block from its Burrows-Wheeler
+// transform and row pointer.
+func Inverse(last []byte, ptr int) []byte {
+	n := len(last)
+	if n == 0 {
+		return nil
+	}
+	if ptr < 0 || ptr >= n {
+		return nil
+	}
+	// Count occurrences, then compute, for each position in the last
+	// column, its position in the first column (the "next" vector walk).
+	var count [256]int
+	for _, c := range last {
+		count[c]++
+	}
+	var base [256]int
+	sum := 0
+	for c := 0; c < 256; c++ {
+		base[c] = sum
+		sum += count[c]
+	}
+	next := make([]int, n)
+	var seen [256]int
+	for i, c := range last {
+		next[base[c]+seen[c]] = i
+		seen[c]++
+	}
+	out := make([]byte, n)
+	p := next[ptr]
+	for i := 0; i < n; i++ {
+		out[i] = last[p]
+		p = next[p]
+	}
+	return out
+}

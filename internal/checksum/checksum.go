@@ -1,0 +1,74 @@
+// Package checksum implements the CRC-32 (IEEE 802.3, reflected) and
+// Adler-32 checksums from first principles. They are used by the gzip and
+// zlib container formats produced by this repository's codecs.
+package checksum
+
+// crc32Poly is the reversed (reflected) IEEE 802.3 polynomial.
+const crc32Poly = 0xEDB88320
+
+// crc32Table is the byte-at-a-time lookup table for the reflected IEEE
+// polynomial.
+var crc32Table = makeCRC32Table()
+
+func makeCRC32Table() [256]uint32 {
+	var t [256]uint32
+	for i := range t {
+		crc := uint32(i)
+		for k := 0; k < 8; k++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ crc32Poly
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}
+
+// CRC32 computes the IEEE CRC-32 of p in one shot.
+func CRC32(p []byte) uint32 {
+	return UpdateCRC32(0, p)
+}
+
+// UpdateCRC32 extends crc with the bytes of p. A zero crc starts a new
+// computation, so UpdateCRC32(UpdateCRC32(0, a), b) == CRC32(a || b).
+func UpdateCRC32(crc uint32, p []byte) uint32 {
+	crc = ^crc
+	for _, b := range p {
+		crc = crc32Table[byte(crc)^b] ^ (crc >> 8)
+	}
+	return ^crc
+}
+
+// adlerMod is the largest prime smaller than 65536.
+const adlerMod = 65521
+
+// Adler32 computes the Adler-32 checksum of p in one shot.
+func Adler32(p []byte) uint32 {
+	return UpdateAdler32(1, p)
+}
+
+// UpdateAdler32 extends adler with the bytes of p. A value of 1 starts a new
+// computation.
+func UpdateAdler32(adler uint32, p []byte) uint32 {
+	s1 := adler & 0xffff
+	s2 := (adler >> 16) & 0xffff
+	// Process in chunks small enough that s2 cannot overflow uint32:
+	// 5552 is the standard zlib NMAX.
+	const nmax = 5552
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > nmax {
+			chunk = chunk[:nmax]
+		}
+		for _, b := range chunk {
+			s1 += uint32(b)
+			s2 += s1
+		}
+		s1 %= adlerMod
+		s2 %= adlerMod
+		p = p[len(chunk):]
+	}
+	return s2<<16 | s1
+}

@@ -1,0 +1,6 @@
+package device
+
+import "repro/internal/codec"
+
+// codecGzip avoids repeating the import dance in table-driven tests.
+func codecGzip() codec.Scheme { return codec.Gzip }

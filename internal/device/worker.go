@@ -1,0 +1,84 @@
+package device
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Worker schedules decompression (or other computational) work onto the
+// device CPU inside the idle windows the link grants it, implementing the
+// paper's user-level interleaving: receiving runs in the kernel interrupt
+// handler and preempts the decompression process, so work only advances
+// between packet arrivals and after the download completes.
+type Worker struct {
+	kernel  *sim.Kernel
+	dev     *Device
+	pending time.Duration
+	doneAt  time.Duration // when the current busy segment ends
+	busySum time.Duration
+}
+
+// NewWorker returns a worker driving dev's CPU state.
+func NewWorker(k *sim.Kernel, dev *Device) *Worker {
+	return &Worker{kernel: k, dev: dev}
+}
+
+// Add queues d seconds of CPU work.
+func (w *Worker) Add(d time.Duration) {
+	if d > 0 {
+		w.pending += d
+	}
+}
+
+// Pending reports the queued-but-not-yet-executed work.
+func (w *Worker) Pending() time.Duration { return w.pending }
+
+// BusyTotal reports the total CPU-busy time scheduled so far.
+func (w *Worker) BusyTotal() time.Duration { return w.busySum }
+
+// Window grants the CPU to the worker for d starting now. The worker marks
+// the device busy for min(pending, d) and idle for the remainder. Windows
+// must not overlap; the link model guarantees this.
+func (w *Worker) Window(d time.Duration) {
+	if w.pending <= 0 || d <= 0 {
+		w.dev.SetCPU(CPUIdle)
+		return
+	}
+	busy := w.pending
+	if busy > d {
+		busy = d
+	}
+	w.pending -= busy
+	w.busySum += busy
+	w.dev.SetCPU(CPUBusy)
+	end := w.kernel.Now() + busy
+	w.doneAt = end
+	w.kernel.At(end, func() {
+		// Only drop to idle if no later busy segment superseded this one.
+		if w.kernel.Now() >= w.doneAt {
+			w.dev.SetCPU(CPUIdle)
+		}
+	})
+}
+
+// Drain runs all remaining work starting now and returns the completion
+// time. Used after the download finishes (no more packet interruptions).
+func (w *Worker) Drain() time.Duration {
+	if w.pending <= 0 {
+		w.dev.SetCPU(CPUIdle)
+		return w.kernel.Now()
+	}
+	busy := w.pending
+	w.pending = 0
+	w.busySum += busy
+	w.dev.SetCPU(CPUBusy)
+	end := w.kernel.Now() + busy
+	w.doneAt = end
+	w.kernel.At(end, func() {
+		if w.kernel.Now() >= w.doneAt {
+			w.dev.SetCPU(CPUIdle)
+		}
+	})
+	return end
+}

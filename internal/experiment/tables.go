@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/device"
+	"repro/internal/multimeter"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PowerRow is one row of Table 1: a device state and its measured current.
+type PowerRow struct {
+	CPU        device.CPUState
+	Radio      device.RadioState
+	PowerSave  bool
+	NICService bool
+	MeasuredMA float64
+	TableMA    float64 // the constant from the paper's Table 1
+}
+
+// Table1 reproduces the power-parameter table by putting the simulated
+// device in each state and reading the metered average current.
+func Table1() []PowerRow {
+	pt := device.DefaultPowerTable()
+	type state struct {
+		cpu   device.CPUState
+		radio device.RadioState
+		ps    bool
+		nic   bool
+	}
+	states := []state{
+		{device.CPUIdle, device.RadioSleep, false, false},
+		{device.CPUBusy, device.RadioSleep, false, false},
+		{device.CPUIdle, device.RadioIdle, false, false},
+		{device.CPUIdle, device.RadioIdle, true, false},
+		{device.CPUBusy, device.RadioIdle, false, false},
+		{device.CPUBusy, device.RadioIdle, true, false},
+		{device.CPUIdle, device.RadioRecv, false, false},
+		{device.CPUIdle, device.RadioRecv, true, false},
+		{device.CPUBusy, device.RadioRecv, false, false},
+		{device.CPUBusy, device.RadioRecv, true, false},
+		{device.CPUIdle, device.RadioRecv, false, true},
+		{device.CPUIdle, device.RadioRecv, true, true},
+	}
+	rows := make([]PowerRow, 0, len(states))
+	for _, st := range states {
+		k := sim.NewKernel()
+		d := device.New(k, pt)
+		d.SetCPU(st.cpu)
+		d.SetRadio(st.radio)
+		d.SetPowerSave(st.ps)
+		d.SetNICActive(st.nic)
+		m := multimeter.New(k, d, 0)
+		m.Trigger()
+		k.Schedule(time.Second, m.Stop)
+		k.Run()
+		r, err := m.Reading()
+		if err != nil {
+			continue
+		}
+		want := pt.Current(st.cpu, st.radio, st.ps)
+		if st.nic {
+			want = pt.NICServiceOff
+			if st.ps {
+				want = pt.NICServiceOn
+			}
+		}
+		rows = append(rows, PowerRow{
+			CPU: st.cpu, Radio: st.radio, PowerSave: st.ps, NICService: st.nic,
+			MeasuredMA: r.AvgMA, TableMA: want,
+		})
+	}
+	return rows
+}
+
+// RenderTable1 formats the power table.
+func RenderTable1(rows []PowerRow) string {
+	var b strings.Builder
+	b.WriteString("Table 1: power parameters (mA at 5 V)\n")
+	b.WriteString(header(
+		fmt.Sprintf("%-10s", "iPAQ"),
+		fmt.Sprintf("%-10s", "WaveLAN"),
+		fmt.Sprintf("%-12s", "PowerSaving"),
+		fmt.Sprintf("%10s", "measured"),
+		fmt.Sprintf("%10s", "paper"),
+	))
+	for _, r := range rows {
+		cpu := r.CPU.String()
+		if r.NICService {
+			cpu = "- (NIC)"
+		}
+		ps := "off"
+		if r.PowerSave {
+			ps = "on"
+		}
+		fmt.Fprintf(&b, "%-10s%-10s%-12s%10.1f%10.1f\n", cpu, r.Radio, ps, r.MeasuredMA, r.TableMA)
+	}
+	return b.String()
+}
+
+// FactorRow is one row of Table 2: a file and its compression factors.
+type FactorRow struct {
+	Spec     workload.FileSpec
+	SizeUsed int
+	Gzip     float64
+	Compress float64
+	Bzip2    float64
+}
+
+// Table2 compresses every corpus file with the three schemes at the
+// paper's settings and reports the measured factors next to the published
+// ones.
+func (c Config) Table2() ([]FactorRow, error) {
+	large, small := c.corpus()
+	specs := append(append([]workload.FileSpec{}, large...), small...)
+	rows := make([]FactorRow, 0, len(specs))
+	for _, spec := range specs {
+		data := spec.Generate()
+		row := FactorRow{Spec: spec, SizeUsed: len(data)}
+		for _, s := range codec.Schemes() {
+			cdc, err := codec.New(s, 0)
+			if err != nil {
+				return nil, err
+			}
+			comp, err := cdc.Compress(data)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", spec.Name, s, err)
+			}
+			f := codec.Factor(len(data), len(comp))
+			switch s {
+			case codec.Gzip:
+				row.Gzip = f
+			case codec.Compress:
+				row.Compress = f
+			case codec.Bzip2:
+				row.Bzip2 = f
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats the factor table with paper-vs-measured columns.
+func RenderTable2(rows []FactorRow) string {
+	var b strings.Builder
+	b.WriteString("Table 2: test files and compression factors (measured | paper)\n")
+	b.WriteString(header(
+		fmt.Sprintf("%-24s", "name"),
+		fmt.Sprintf("%10s", "size"),
+		fmt.Sprintf("%16s", "gzip"),
+		fmt.Sprintf("%16s", "compress"),
+		fmt.Sprintf("%16s", "bzip2"),
+	))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s%10d%8.2f |%5.2f%9.2f |%5.2f%9.2f |%5.2f\n",
+			r.Spec.Name, r.SizeUsed,
+			r.Gzip, r.Spec.PaperGzip,
+			r.Compress, r.Spec.PaperCompress,
+			r.Bzip2, r.Spec.PaperBzip2)
+	}
+	return b.String()
+}
+
+// Table3Rows returns the file-description table.
+func Table3Rows() []workload.FileSpec { return workload.Table2() }
+
+// RenderTable3 formats the file descriptions.
+func RenderTable3() string {
+	var b strings.Builder
+	b.WriteString("Table 3: test file type information\n")
+	b.WriteString(header(fmt.Sprintf("%-24s", "name"), fmt.Sprintf("%-40s", "description")))
+	for _, s := range Table3Rows() {
+		fmt.Fprintf(&b, "%-24s%-40s\n", s.Name, s.Description)
+	}
+	return b.String()
+}

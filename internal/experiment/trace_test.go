@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTraceCapturesIdleFraction(t *testing.T) {
+	traces, err := Config{}.Trace(400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	plain := traces[0]
+	// Sum idle time (310 mA) over the plain download: ~40%.
+	var idle float64
+	for _, seg := range plain.Segments {
+		if seg.CurrentMA == 310 {
+			idle += seg.EndSec - seg.StartSec
+		}
+	}
+	if frac := idle / plain.TotalSec; math.Abs(frac-0.40) > 0.03 {
+		t.Errorf("plain idle fraction %.3f", frac)
+	}
+	// The interleaved trace must contain busy-decompress segments.
+	inter := traces[1]
+	var busy float64
+	for _, seg := range inter.Segments {
+		if seg.CurrentMA == 570 {
+			busy += seg.EndSec - seg.StartSec
+		}
+	}
+	if busy == 0 {
+		t.Error("no decompression segments in the interleaved trace")
+	}
+	// Segments must be contiguous and ordered.
+	for _, tr := range traces {
+		prevEnd := 0.0
+		for i, seg := range tr.Segments {
+			if seg.StartSec < prevEnd-1e-9 {
+				t.Fatalf("%s: segment %d overlaps", tr.Label, i)
+			}
+			if seg.EndSec <= seg.StartSec {
+				t.Fatalf("%s: segment %d empty", tr.Label, i)
+			}
+			prevEnd = seg.EndSec
+		}
+	}
+}
+
+func TestTraceRenders(t *testing.T) {
+	traces, err := Config{}.Trace(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := RenderTraceCSV(traces)
+	if !strings.Contains(csv, "start_s,end_s,current_mA") {
+		t.Error("CSV header missing")
+	}
+	if !strings.Contains(csv, "497.2") {
+		t.Error("CSV missing NIC-service current")
+	}
+	sum := RenderTraceSummary(traces)
+	if !strings.Contains(sum, "310.0 mA") {
+		t.Error("summary missing idle level")
+	}
+}

@@ -1,0 +1,384 @@
+// Package flate implements the DEFLATE compressed format (RFC 1951) and its
+// gzip (RFC 1952) and zlib (RFC 1950) containers, built on the lz77 matcher
+// and the huffman coder. It is the from-scratch equivalent of the gzip 1.2.4
+// / zlib 1.1.3 tools measured by the paper.
+package flate
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bitio"
+	"repro/internal/huffman"
+	"repro/internal/lz77"
+)
+
+// maxTokensPerBlock bounds the token buffer per DEFLATE block, matching
+// zlib's 16K-symbol block segmentation: "a block is terminated when the
+// compression algorithm determines that it is better to start a new block".
+const maxTokensPerBlock = 16384
+
+// maxStoredBlock is the maximum payload of a stored (BTYPE=00) block.
+const maxStoredBlock = 65535
+
+// Deflate compresses data to w as a complete DEFLATE stream at the given
+// level (1-9). It returns the number of compressed bytes written.
+func Deflate(w io.Writer, data []byte, level int) (int, error) {
+	m, err := lz77.NewMatcher(level)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countWriter{w: w}
+	bw := bitio.NewLSBWriter(cw)
+	enc := &blockEncoder{bw: bw, data: data}
+
+	m.Tokenize(data, func(t lz77.Token) {
+		enc.tokens = append(enc.tokens, t)
+		enc.inputEnd += t.Advance()
+		if len(enc.tokens) >= maxTokensPerBlock {
+			enc.flushBlock(false)
+		}
+	})
+	enc.flushBlock(true)
+	if enc.err != nil {
+		return cw.n, enc.err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	return n, err
+}
+
+// blockEncoder accumulates tokens and emits DEFLATE blocks, choosing
+// stored / fixed / dynamic per block by exact cost comparison.
+type blockEncoder struct {
+	bw         *bitio.LSBWriter
+	data       []byte
+	tokens     []lz77.Token
+	inputStart int // data offset covered by the pending tokens
+	inputEnd   int
+	err        error
+}
+
+func (e *blockEncoder) flushBlock(final bool) {
+	if e.err != nil {
+		return
+	}
+	if len(e.tokens) == 0 && !final {
+		return
+	}
+
+	litFreq := make([]int, maxNumLit)
+	distFreq := make([]int, maxNumDist)
+	extraBits := 0
+	for _, t := range e.tokens {
+		if t.IsLiteral() {
+			litFreq[t.Lit]++
+			continue
+		}
+		le := lengthCodes[t.Len]
+		litFreq[le.code]++
+		extraBits += int(le.extra)
+		dc := distCode(int(t.Dist))
+		distFreq[dc]++
+		extraBits += int(distTable[dc].extra)
+	}
+	litFreq[endBlockMarker]++
+
+	litLens, err := huffman.BuildLengths(litFreq, maxCodeBits)
+	if err != nil {
+		e.err = err
+		return
+	}
+	distLens, err := huffman.BuildLengths(distFreq, maxCodeBits)
+	if err != nil {
+		e.err = err
+		return
+	}
+	// DEFLATE requires at least one distance code length even if no
+	// matches occurred; give code 0 a dummy 1-bit code.
+	hasDist := false
+	for _, l := range distLens {
+		if l > 0 {
+			hasDist = true
+			break
+		}
+	}
+	if !hasDist {
+		distLens[0] = 1
+	}
+
+	header, clLens, clSymbols := e.buildDynamicHeader(litLens, distLens)
+
+	dynCost := header
+	for s, f := range litFreq {
+		dynCost += f * int(litLens[s])
+	}
+	for s, f := range distFreq {
+		dynCost += f * int(distLens[s])
+	}
+	dynCost += extraBits
+
+	fixedLit := fixedLitLengths()
+	fixedDist := fixedDistLengths()
+	fixedCost := 0
+	for s, f := range litFreq {
+		fixedCost += f * int(fixedLit[s])
+	}
+	for s, f := range distFreq {
+		fixedCost += f * int(fixedDist[s])
+	}
+	fixedCost += extraBits
+
+	inputLen := e.inputEnd - e.inputStart
+	storedCost := 1 << 62
+	if inputLen <= maxStoredBlock {
+		// 3 header bits + up-to-7 alignment + 32 bits LEN/NLEN + payload.
+		storedCost = 3 + 7 + 32 + 8*inputLen
+	}
+
+	switch {
+	case storedCost <= dynCost+3 && storedCost <= fixedCost+3:
+		e.writeStored(final)
+	case fixedCost <= dynCost:
+		e.writeHuffman(final, 1, fixedLit, fixedDist, nil, nil, 0)
+	default:
+		e.writeHuffman(final, 2, litLens, distLens, clLens, clSymbols, header)
+	}
+
+	e.tokens = e.tokens[:0]
+	e.inputStart = e.inputEnd
+}
+
+// buildDynamicHeader computes the dynamic header cost in bits along with the
+// code-length code and the CL symbol stream (symbol, extra-bit pairs).
+type clSym struct {
+	sym   int
+	extra int
+	bits  uint8
+}
+
+func (e *blockEncoder) buildDynamicHeader(litLens, distLens []uint8) (bits int, clLens []uint8, syms []clSym) {
+	nlit := maxNumLit
+	for nlit > 257 && litLens[nlit-1] == 0 {
+		nlit--
+	}
+	ndist := maxNumDist
+	for ndist > 1 && distLens[ndist-1] == 0 {
+		ndist--
+	}
+	all := make([]uint8, 0, nlit+ndist)
+	all = append(all, litLens[:nlit]...)
+	all = append(all, distLens[:ndist]...)
+
+	syms = runLengthEncode(all)
+	clFreq := make([]int, numCLSymbols)
+	for _, s := range syms {
+		clFreq[s.sym]++
+	}
+	clLens, err := huffman.BuildLengths(clFreq, maxCLCodeBits)
+	if err != nil {
+		// Cannot happen: 19 symbols always fit 7 bits; fall back to fixed.
+		e.err = err
+		return 1 << 30, nil, nil
+	}
+	hclen := numCLSymbols
+	for hclen > 4 && clLens[clOrder[hclen-1]] == 0 {
+		hclen--
+	}
+	bits = 5 + 5 + 4 + 3*hclen
+	for _, s := range syms {
+		bits += int(clLens[s.sym]) + int(s.bits)
+	}
+	// Stash nlit/ndist/hclen in the first slots of a side channel via
+	// closure state: recompute in writeHuffman instead (cheap).
+	return bits, clLens, syms
+}
+
+// runLengthEncode produces the CL-alphabet symbol stream for a code-length
+// vector: 0..15 literal lengths, 16 repeat-previous (3-6, 2 extra bits),
+// 17 zero-run (3-10, 3 extra), 18 zero-run (11-138, 7 extra).
+func runLengthEncode(lens []uint8) []clSym {
+	var out []clSym
+	for i := 0; i < len(lens); {
+		v := lens[i]
+		j := i + 1
+		for j < len(lens) && lens[j] == v {
+			j++
+		}
+		run := j - i
+		if v == 0 {
+			for run >= 11 {
+				n := run
+				if n > 138 {
+					n = 138
+				}
+				out = append(out, clSym{sym: 18, extra: n - 11, bits: 7})
+				run -= n
+			}
+			if run >= 3 {
+				out = append(out, clSym{sym: 17, extra: run - 3, bits: 3})
+				run = 0
+			}
+			for ; run > 0; run-- {
+				out = append(out, clSym{sym: 0})
+			}
+		} else {
+			out = append(out, clSym{sym: int(v)})
+			run--
+			for run >= 3 {
+				n := run
+				if n > 6 {
+					n = 6
+				}
+				out = append(out, clSym{sym: 16, extra: n - 3, bits: 2})
+				run -= n
+			}
+			for ; run > 0; run-- {
+				out = append(out, clSym{sym: int(v)})
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+func (e *blockEncoder) writeStored(final bool) {
+	chunk := e.data[e.inputStart:e.inputEnd]
+	for first := true; first || len(chunk) > 0; first = false {
+		part := chunk
+		if len(part) > maxStoredBlock {
+			part = part[:maxStoredBlock]
+		}
+		chunk = chunk[len(part):]
+		bfinal := uint64(0)
+		if final && len(chunk) == 0 {
+			bfinal = 1
+		}
+		e.bw.WriteBits(bfinal, 1)
+		e.bw.WriteBits(0, 2) // BTYPE=00
+		e.bw.Align()
+		n := uint64(len(part))
+		e.bw.WriteBits(n, 16)
+		e.bw.WriteBits(^n&0xffff, 16)
+		e.bw.WriteBytes(part)
+	}
+	if e.bw.Err() != nil {
+		e.err = e.bw.Err()
+	}
+}
+
+func (e *blockEncoder) writeHuffman(final bool, btype int, litLens, distLens []uint8, clLens []uint8, clSyms []clSym, _ int) {
+	bfinal := uint64(0)
+	if final {
+		bfinal = 1
+	}
+	e.bw.WriteBits(bfinal, 1)
+	e.bw.WriteBits(uint64(btype), 2)
+
+	if btype == 2 {
+		nlit := maxNumLit
+		for nlit > 257 && litLens[nlit-1] == 0 {
+			nlit--
+		}
+		ndist := maxNumDist
+		for ndist > 1 && distLens[ndist-1] == 0 {
+			ndist--
+		}
+		hclen := numCLSymbols
+		for hclen > 4 && clLens[clOrder[hclen-1]] == 0 {
+			hclen--
+		}
+		e.bw.WriteBits(uint64(nlit-257), 5)
+		e.bw.WriteBits(uint64(ndist-1), 5)
+		e.bw.WriteBits(uint64(hclen-4), 4)
+		for i := 0; i < hclen; i++ {
+			e.bw.WriteBits(uint64(clLens[clOrder[i]]), 3)
+		}
+		clCodes, err := huffman.CanonicalCodes(clLens)
+		if err != nil {
+			e.err = err
+			return
+		}
+		for _, s := range clSyms {
+			l := clLens[s.sym]
+			e.bw.WriteBits(uint64(huffman.Reverse(clCodes[s.sym], l)), uint(l))
+			if s.bits > 0 {
+				e.bw.WriteBits(uint64(s.extra), uint(s.bits))
+			}
+		}
+	}
+
+	litCodes, err := huffman.CanonicalCodes(litLens)
+	if err != nil {
+		e.err = err
+		return
+	}
+	distCodes, err := huffman.CanonicalCodes(distLens)
+	if err != nil {
+		e.err = err
+		return
+	}
+	emitSym := func(codes []uint32, lens []uint8, s int) {
+		e.bw.WriteBits(uint64(huffman.Reverse(codes[s], lens[s])), uint(lens[s]))
+	}
+	for _, t := range e.tokens {
+		if t.IsLiteral() {
+			emitSym(litCodes, litLens, int(t.Lit))
+			continue
+		}
+		le := lengthCodes[t.Len]
+		emitSym(litCodes, litLens, int(le.code))
+		if le.extra > 0 {
+			e.bw.WriteBits(uint64(int(t.Len)-int(le.base)), uint(le.extra))
+		}
+		dc := distCode(int(t.Dist))
+		emitSym(distCodes, distLens, dc)
+		de := distTable[dc]
+		if de.extra > 0 {
+			e.bw.WriteBits(uint64(int(t.Dist)-int(de.base)), uint(de.extra))
+		}
+	}
+	emitSym(litCodes, litLens, endBlockMarker)
+	if e.bw.Err() != nil {
+		e.err = e.bw.Err()
+	}
+}
+
+// CompressBytes is a convenience wrapper returning the DEFLATE stream for
+// data at the given level.
+func CompressBytes(data []byte, level int) ([]byte, error) {
+	var buf sliceWriter
+	if _, err := Deflate(&buf, data, level); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+type sliceWriter struct{ b []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+var _ io.Writer = (*sliceWriter)(nil)
+
+// validateLevel reports an error for levels outside 1..9.
+func validateLevel(level int) error {
+	if level < 1 || level > 9 {
+		return fmt.Errorf("flate: level %d out of range 1..9", level)
+	}
+	return nil
+}

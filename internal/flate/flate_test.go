@@ -1,0 +1,331 @@
+package flate
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"compress/zlib"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// corpusSamples exercises the classes of data the paper's Table 2 covers.
+func corpusSamples() map[string][]byte {
+	rng := rand.New(rand.NewSource(11))
+	random := make([]byte, 60000)
+	rng.Read(random)
+	runs := bytes.Repeat([]byte{'x'}, 70000)
+	text := []byte(strings.Repeat("The energy model estimates compressed downloading cost. ", 1500))
+	var structured []byte
+	for i := 0; i < 3000; i++ {
+		structured = append(structured, []byte("<item id=\"0\"><name>value</name></item>\n")...)
+	}
+	allBytes := make([]byte, 256*20)
+	for i := range allBytes {
+		allBytes[i] = byte(i)
+	}
+	return map[string][]byte{
+		"empty":      nil,
+		"one":        {42},
+		"short":      []byte("abc"),
+		"text":       text,
+		"structured": structured,
+		"random":     random,
+		"runs":       runs,
+		"allBytes":   allBytes,
+	}
+}
+
+func TestDeflateInflateRoundTrip(t *testing.T) {
+	for name, data := range corpusSamples() {
+		for _, level := range []int{1, 6, 9} {
+			comp, err := CompressBytes(data, level)
+			if err != nil {
+				t.Fatalf("%s level %d: %v", name, level, err)
+			}
+			got, err := DecompressBytes(comp)
+			if err != nil {
+				t.Fatalf("%s level %d: inflate: %v", name, level, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%s level %d: round trip mismatch", name, level)
+			}
+		}
+	}
+}
+
+func TestDeflateCompressesText(t *testing.T) {
+	data := corpusSamples()["text"]
+	comp, err := CompressBytes(data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := float64(len(data)) / float64(len(comp)); f < 5 {
+		t.Errorf("text compression factor %.2f, want > 5", f)
+	}
+}
+
+func TestDeflateRandomNearStored(t *testing.T) {
+	data := corpusSamples()["random"]
+	comp, err := CompressBytes(data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stored-block fallback bounds the expansion to ~5 bytes per 64 KB.
+	if len(comp) > len(data)+len(data)/200+64 {
+		t.Errorf("random data expanded: %d -> %d", len(data), len(comp))
+	}
+}
+
+// Interop: the stdlib must inflate our output, and we must inflate stdlib's.
+func TestInteropStdlibInflatesOurs(t *testing.T) {
+	for name, data := range corpusSamples() {
+		comp, err := CompressBytes(data, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := flate.NewReader(bytes.NewReader(comp))
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("%s: stdlib inflate of our stream: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: stdlib decoded different bytes", name)
+		}
+	}
+}
+
+func TestInteropWeInflateStdlib(t *testing.T) {
+	for name, data := range corpusSamples() {
+		var buf bytes.Buffer
+		w, err := flate.NewWriter(&buf, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecompressBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: our inflate of stdlib stream: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: we decoded different bytes", name)
+		}
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	for name, data := range corpusSamples() {
+		comp, err := GzipCompress(data, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := GzipDecompress(comp, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: gzip round trip mismatch", name)
+		}
+	}
+}
+
+func TestGzipInteropStdlib(t *testing.T) {
+	data := corpusSamples()["structured"]
+	comp, err := GzipCompress(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		t.Fatalf("stdlib gzip reader rejected our stream: %v", err)
+	}
+	got, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("stdlib gzip decoded different bytes")
+	}
+
+	// And the reverse.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := GzipDecompress(buf.Bytes(), 0)
+	if err != nil {
+		t.Fatalf("we rejected stdlib gzip stream: %v", err)
+	}
+	if !bytes.Equal(got2, data) {
+		t.Fatal("we decoded stdlib gzip stream differently")
+	}
+}
+
+func TestZlibRoundTripAndInterop(t *testing.T) {
+	data := corpusSamples()["text"]
+	comp, err := ZlibCompress(data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ZlibDecompress(comp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("zlib round trip mismatch")
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		t.Fatalf("stdlib zlib reader rejected our stream: %v", err)
+	}
+	got2, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(got2, data) {
+		t.Fatalf("stdlib zlib decode: %v", err)
+	}
+}
+
+func TestGzipDetectsCorruption(t *testing.T) {
+	data := corpusSamples()["text"]
+	comp, err := GzipCompress(data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: either the inflate fails or the CRC must catch it.
+	bad := append([]byte{}, comp...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := GzipDecompress(bad, 0); err == nil {
+		t.Fatal("corrupted gzip stream decoded without error")
+	}
+	// Truncate.
+	if _, err := GzipDecompress(comp[:len(comp)/2], 0); err == nil {
+		t.Fatal("truncated gzip stream decoded without error")
+	}
+	// Bad magic.
+	bad2 := append([]byte{}, comp...)
+	bad2[0] = 0
+	if _, err := GzipDecompress(bad2, 0); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestInflateMaxSizeGuard(t *testing.T) {
+	data := bytes.Repeat([]byte{'b'}, 100000)
+	comp, err := CompressBytes(data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inflate(nil, bytesReader(comp), 1000); err == nil {
+		t.Fatal("expected bomb guard to trip")
+	}
+	out, err := Inflate(nil, bytesReader(comp), len(data))
+	if err != nil {
+		t.Fatalf("exact-size limit should pass: %v", err)
+	}
+	if len(out) != len(data) {
+		t.Fatalf("got %d bytes", len(out))
+	}
+}
+
+func TestLevelValidation(t *testing.T) {
+	for _, bad := range []int{0, 10, -1} {
+		if _, err := GzipCompress([]byte("x"), bad); err == nil {
+			t.Errorf("GzipCompress level %d accepted", bad)
+		}
+		if _, err := ZlibCompress([]byte("x"), bad); err == nil {
+			t.Errorf("ZlibCompress level %d accepted", bad)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20000)
+		data := make([]byte, n)
+		alpha := 1 + rng.Intn(255)
+		for i := range data {
+			data[i] = byte(rng.Intn(alpha))
+		}
+		level := 1 + rng.Intn(9)
+		comp, err := GzipCompress(data, level)
+		if err != nil {
+			return false
+		}
+		got, err := GzipDecompress(comp, 0)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInflateRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	reject := 0
+	for i := 0; i < 50; i++ {
+		junk := make([]byte, 200+rng.Intn(500))
+		rng.Read(junk)
+		if _, err := Inflate(nil, bytesReader(junk), 1<<20); err != nil {
+			reject++
+		}
+	}
+	// Random bytes occasionally parse as tiny valid streams; most must fail.
+	if reject < 40 {
+		t.Errorf("only %d/50 garbage streams rejected", reject)
+	}
+}
+
+func TestMultiBlockBoundary(t *testing.T) {
+	// Force several blocks by exceeding maxTokensPerBlock with literals.
+	rng := rand.New(rand.NewSource(17))
+	data := make([]byte, 3*maxTokensPerBlock)
+	rng.Read(data)
+	comp, err := CompressBytes(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressBytes(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-block round trip mismatch")
+	}
+}
+
+func BenchmarkDeflateLevel9Text(b *testing.B) {
+	data := []byte(strings.Repeat("benchmark corpus for deflate measurements over wireless links\n", 2000))
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressBytes(data, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInflateText(b *testing.B) {
+	data := []byte(strings.Repeat("benchmark corpus for deflate measurements over wireless links\n", 2000))
+	comp, err := CompressBytes(data, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecompressBytes(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package flate
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/checksum"
+)
+
+// gzip container constants (RFC 1952).
+const (
+	gzipID1      = 0x1f
+	gzipID2      = 0x8b
+	gzipCM       = 8 // deflate
+	gzipOSUnix   = 3
+	gzipXFLBest  = 2
+	gzipXFLFast  = 4
+	gzipHdrLen   = 10
+	gzipTrailLen = 8
+)
+
+// GzipCompress compresses data into a single-member gzip stream at the given
+// level (1-9), as `gzip -N` would.
+func GzipCompress(data []byte, level int) ([]byte, error) {
+	if err := validateLevel(level); err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, gzipHdrLen)
+	hdr[0], hdr[1], hdr[2] = gzipID1, gzipID2, gzipCM
+	// FLG=0, MTIME=0 (deterministic output).
+	switch level {
+	case 9:
+		hdr[8] = gzipXFLBest
+	case 1:
+		hdr[8] = gzipXFLFast
+	}
+	hdr[9] = gzipOSUnix
+
+	out := sliceWriter{b: hdr}
+	if _, err := Deflate(&out, data, level); err != nil {
+		return nil, err
+	}
+	var trailer [gzipTrailLen]byte
+	binary.LittleEndian.PutUint32(trailer[0:4], checksum.CRC32(data))
+	binary.LittleEndian.PutUint32(trailer[4:8], uint32(len(data)))
+	return append(out.b, trailer[:]...), nil
+}
+
+// GzipDecompress decompresses a single-member gzip stream, verifying the
+// CRC-32 and ISIZE trailer. maxSize, if positive, bounds the output size.
+func GzipDecompress(data []byte, maxSize int) ([]byte, error) {
+	if len(data) < gzipHdrLen+gzipTrailLen {
+		return nil, fmt.Errorf("%w: gzip stream too short", ErrCorrupt)
+	}
+	if data[0] != gzipID1 || data[1] != gzipID2 {
+		return nil, fmt.Errorf("%w: bad gzip magic", ErrCorrupt)
+	}
+	if data[2] != gzipCM {
+		return nil, fmt.Errorf("%w: unsupported gzip method %d", ErrCorrupt, data[2])
+	}
+	flg := data[3]
+	pos := gzipHdrLen
+	const (
+		flgFEXTRA   = 1 << 2
+		flgFNAME    = 1 << 3
+		flgFCOMMENT = 1 << 4
+		flgFHCRC    = 1 << 1
+	)
+	if flg&flgFEXTRA != 0 {
+		if pos+2 > len(data) {
+			return nil, fmt.Errorf("%w: truncated FEXTRA", ErrCorrupt)
+		}
+		xlen := int(binary.LittleEndian.Uint16(data[pos:]))
+		pos += 2 + xlen
+	}
+	skipZString := func() error {
+		for {
+			if pos >= len(data) {
+				return fmt.Errorf("%w: unterminated header string", ErrCorrupt)
+			}
+			pos++
+			if data[pos-1] == 0 {
+				return nil
+			}
+		}
+	}
+	if flg&flgFNAME != 0 {
+		if err := skipZString(); err != nil {
+			return nil, err
+		}
+	}
+	if flg&flgFCOMMENT != 0 {
+		if err := skipZString(); err != nil {
+			return nil, err
+		}
+	}
+	if flg&flgFHCRC != 0 {
+		pos += 2
+	}
+	if pos+gzipTrailLen > len(data) {
+		return nil, fmt.Errorf("%w: gzip header overruns stream", ErrCorrupt)
+	}
+	body := data[pos : len(data)-gzipTrailLen]
+	out, err := Inflate(nil, bytesReader(body), maxSize)
+	if err != nil {
+		return nil, err
+	}
+	trailer := data[len(data)-gzipTrailLen:]
+	wantCRC := binary.LittleEndian.Uint32(trailer[0:4])
+	wantSize := binary.LittleEndian.Uint32(trailer[4:8])
+	if checksum.CRC32(out) != wantCRC {
+		return nil, fmt.Errorf("%w: gzip CRC mismatch", ErrCorrupt)
+	}
+	if uint32(len(out)) != wantSize {
+		return nil, fmt.Errorf("%w: gzip ISIZE mismatch", ErrCorrupt)
+	}
+	return out, nil
+}
+
+// zlib container constants (RFC 1950).
+const (
+	zlibCMFDeflate32K = 0x78
+	zlibTrailLen      = 4
+)
+
+// ZlibCompress compresses data into a zlib stream at the given level, as
+// zlib 1.1.3's compress2 would.
+func ZlibCompress(data []byte, level int) ([]byte, error) {
+	if err := validateLevel(level); err != nil {
+		return nil, err
+	}
+	cmf := byte(zlibCMFDeflate32K)
+	var flevel byte
+	switch {
+	case level >= 7:
+		flevel = 3
+	case level >= 5:
+		flevel = 2
+	case level >= 2:
+		flevel = 1
+	}
+	flg := flevel << 6
+	rem := (uint16(cmf)<<8 | uint16(flg)) % 31
+	if rem != 0 {
+		flg += byte(31 - rem)
+	}
+	out := sliceWriter{b: []byte{cmf, flg}}
+	if _, err := Deflate(&out, data, level); err != nil {
+		return nil, err
+	}
+	var trailer [zlibTrailLen]byte
+	binary.BigEndian.PutUint32(trailer[:], checksum.Adler32(data))
+	return append(out.b, trailer[:]...), nil
+}
+
+// ZlibDecompress decompresses a zlib stream, verifying the Adler-32 trailer.
+func ZlibDecompress(data []byte, maxSize int) ([]byte, error) {
+	if len(data) < 2+zlibTrailLen {
+		return nil, fmt.Errorf("%w: zlib stream too short", ErrCorrupt)
+	}
+	cmf, flg := data[0], data[1]
+	if cmf&0x0f != 8 {
+		return nil, fmt.Errorf("%w: unsupported zlib method %d", ErrCorrupt, cmf&0x0f)
+	}
+	if (uint16(cmf)<<8|uint16(flg))%31 != 0 {
+		return nil, fmt.Errorf("%w: zlib header check failed", ErrCorrupt)
+	}
+	if flg&0x20 != 0 {
+		return nil, fmt.Errorf("%w: preset dictionaries unsupported", ErrCorrupt)
+	}
+	body := data[2 : len(data)-zlibTrailLen]
+	out, err := Inflate(nil, bytesReader(body), maxSize)
+	if err != nil {
+		return nil, err
+	}
+	want := binary.BigEndian.Uint32(data[len(data)-zlibTrailLen:])
+	if checksum.Adler32(out) != want {
+		return nil, fmt.Errorf("%w: adler32 mismatch", ErrCorrupt)
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package flate
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bitio"
+	"repro/internal/huffman"
+	"repro/internal/lz77"
+)
+
+// ErrCorrupt is returned when the DEFLATE stream is structurally invalid.
+var ErrCorrupt = errors.New("flate: corrupt stream")
+
+// Inflate decompresses a complete DEFLATE stream from r, appending to dst
+// (which may be nil). maxSize, if positive, bounds the decompressed size to
+// protect against decompression bombs.
+func Inflate(dst []byte, r io.Reader, maxSize int) ([]byte, error) {
+	br := bitio.NewLSBReader(r)
+	for {
+		final := br.ReadBits(1)
+		btype := br.ReadBits(2)
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("%w: block header: %v", ErrCorrupt, err)
+		}
+		var err error
+		switch btype {
+		case 0:
+			dst, err = inflateStored(dst, br, maxSize)
+		case 1:
+			dst, err = inflateHuffman(dst, br, fixedLitDecoder(), fixedDistDecoder(), maxSize)
+		case 2:
+			var litDec, distDec *huffman.Decoder
+			litDec, distDec, err = readDynamicHeader(br)
+			if err == nil {
+				dst, err = inflateHuffman(dst, br, litDec, distDec, maxSize)
+			}
+		default:
+			err = fmt.Errorf("%w: reserved block type", ErrCorrupt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if final == 1 {
+			return dst, nil
+		}
+	}
+}
+
+func inflateStored(dst []byte, br *bitio.LSBReader, maxSize int) ([]byte, error) {
+	br.Align()
+	n := br.ReadBits(16)
+	nlen := br.ReadBits(16)
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("%w: stored header: %v", ErrCorrupt, err)
+	}
+	if n != ^nlen&0xffff {
+		return nil, fmt.Errorf("%w: stored LEN/NLEN mismatch", ErrCorrupt)
+	}
+	if maxSize > 0 && len(dst)+int(n) > maxSize {
+		return nil, fmt.Errorf("%w: output exceeds limit %d", ErrCorrupt, maxSize)
+	}
+	chunk := make([]byte, n)
+	if err := br.ReadBytes(chunk); err != nil {
+		return nil, fmt.Errorf("%w: stored payload: %v", ErrCorrupt, err)
+	}
+	return append(dst, chunk...), nil
+}
+
+// The fixed decoders are immutable after construction and safe to share.
+var (
+	fixedLit  = mustDecoder(fixedLitLengths())
+	fixedDist = mustDecoder(fixedDistLengths())
+)
+
+func mustDecoder(lens []uint8) *huffman.Decoder {
+	d, err := huffman.NewDecoder(lens)
+	if err != nil {
+		panic("flate: fixed code construction failed: " + err.Error())
+	}
+	return d
+}
+
+func fixedLitDecoder() *huffman.Decoder  { return fixedLit }
+func fixedDistDecoder() *huffman.Decoder { return fixedDist }
+
+func readDynamicHeader(br *bitio.LSBReader) (litDec, distDec *huffman.Decoder, err error) {
+	nlit := int(br.ReadBits(5)) + 257
+	ndist := int(br.ReadBits(5)) + 1
+	hclen := int(br.ReadBits(4)) + 4
+	if err := br.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%w: dynamic header: %v", ErrCorrupt, err)
+	}
+	if nlit > maxNumLit || ndist > maxNumDist {
+		return nil, nil, fmt.Errorf("%w: nlit=%d ndist=%d out of range", ErrCorrupt, nlit, ndist)
+	}
+	clLens := make([]uint8, numCLSymbols)
+	for i := 0; i < hclen; i++ {
+		clLens[clOrder[i]] = uint8(br.ReadBits(3))
+	}
+	if err := br.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%w: CL lengths: %v", ErrCorrupt, err)
+	}
+	clDec, err := huffman.NewDecoder(clLens)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: CL code: %v", ErrCorrupt, err)
+	}
+	all := make([]uint8, nlit+ndist)
+	for i := 0; i < len(all); {
+		sym, err := clDec.Decode(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: CL symbol: %v", ErrCorrupt, err)
+		}
+		switch {
+		case sym <= 15:
+			all[i] = uint8(sym)
+			i++
+		case sym == 16:
+			if i == 0 {
+				return nil, nil, fmt.Errorf("%w: repeat with no previous length", ErrCorrupt)
+			}
+			rep := int(br.ReadBits(2)) + 3
+			if i+rep > len(all) {
+				return nil, nil, fmt.Errorf("%w: repeat overruns lengths", ErrCorrupt)
+			}
+			v := all[i-1]
+			for k := 0; k < rep; k++ {
+				all[i] = v
+				i++
+			}
+		case sym == 17:
+			rep := int(br.ReadBits(3)) + 3
+			if i+rep > len(all) {
+				return nil, nil, fmt.Errorf("%w: zero run overruns lengths", ErrCorrupt)
+			}
+			i += rep
+		case sym == 18:
+			rep := int(br.ReadBits(7)) + 11
+			if i+rep > len(all) {
+				return nil, nil, fmt.Errorf("%w: zero run overruns lengths", ErrCorrupt)
+			}
+			i += rep
+		default:
+			return nil, nil, fmt.Errorf("%w: CL symbol %d", ErrCorrupt, sym)
+		}
+	}
+	if err := br.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%w: lengths: %v", ErrCorrupt, err)
+	}
+	litDec, err = huffman.NewDecoder(all[:nlit])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: lit/len code: %v", ErrCorrupt, err)
+	}
+	distDec, err = huffman.NewDecoder(all[nlit:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: dist code: %v", ErrCorrupt, err)
+	}
+	return litDec, distDec, nil
+}
+
+func inflateHuffman(dst []byte, br *bitio.LSBReader, litDec, distDec *huffman.Decoder, maxSize int) ([]byte, error) {
+	for {
+		sym, err := litDec.Decode(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: lit/len: %v", ErrCorrupt, err)
+		}
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		switch {
+		case sym < 256:
+			dst = append(dst, byte(sym))
+		case sym == endBlockMarker:
+			return dst, nil
+		case sym <= 285:
+			le := lengthTable[sym-257]
+			length := int(le.base) + int(br.ReadBits(uint(le.extra)))
+			dsym, err := distDec.Decode(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: dist: %v", ErrCorrupt, err)
+			}
+			if dsym >= maxNumDist {
+				return nil, fmt.Errorf("%w: dist code %d", ErrCorrupt, dsym)
+			}
+			de := distTable[dsym]
+			dist := int(de.base) + int(br.ReadBits(uint(de.extra)))
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			if dist > len(dst) {
+				return nil, fmt.Errorf("%w: distance %d beyond output %d", ErrCorrupt, dist, len(dst))
+			}
+			if length > lz77.MaxMatch {
+				return nil, fmt.Errorf("%w: match length %d", ErrCorrupt, length)
+			}
+			if maxSize > 0 && len(dst)+length > maxSize {
+				return nil, fmt.Errorf("%w: output exceeds limit %d", ErrCorrupt, maxSize)
+			}
+			for k := 0; k < length; k++ {
+				dst = append(dst, dst[len(dst)-dist])
+			}
+		default:
+			return nil, fmt.Errorf("%w: lit/len symbol %d", ErrCorrupt, sym)
+		}
+		if maxSize > 0 && len(dst) > maxSize {
+			return nil, fmt.Errorf("%w: output exceeds limit %d", ErrCorrupt, maxSize)
+		}
+	}
+}
+
+// DecompressBytes inflates a complete DEFLATE stream held in memory.
+func DecompressBytes(data []byte) ([]byte, error) {
+	return Inflate(nil, bytesReader(data), 0)
+}
+
+func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}

@@ -1,0 +1,259 @@
+package flate
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func streamCompress(t testing.TB, data []byte, level int, chunk int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw, err := NewWriter(&buf, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := zw.Write(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func streamDecompress(t testing.TB, comp []byte, readSize int) []byte {
+	t.Helper()
+	zr := NewReader(bytes.NewReader(comp))
+	var out []byte
+	buf := make([]byte, readSize)
+	for {
+		n, err := zr.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+	}
+}
+
+func TestStreamRoundTripVariousChunks(t *testing.T) {
+	data := []byte(strings.Repeat("streaming gzip writer and reader round trip test content. ", 40_000))
+	for _, writeChunk := range []int{1, 7, 4096, 1 << 20, len(data)} {
+		comp := streamCompress(t, data, 6, writeChunk)
+		for _, readChunk := range []int{1, 13, 8192, len(data)} {
+			got := streamDecompress(t, comp, readChunk)
+			if !bytes.Equal(got, data) {
+				t.Fatalf("write chunk %d / read chunk %d: mismatch", writeChunk, readChunk)
+			}
+		}
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	comp := streamCompress(t, nil, 9, 1024)
+	got := streamDecompress(t, comp, 64)
+	if len(got) != 0 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+}
+
+func TestStreamInteropStdlibReadsOurs(t *testing.T) {
+	data := []byte(strings.Repeat("interop with the standard library. ", 30_000))
+	comp := streamCompress(t, data, 9, 100_000)
+	zr, err := gzip.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		t.Fatalf("stdlib rejected our stream: %v", err)
+	}
+	got, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("stdlib decode: %v", err)
+	}
+}
+
+func TestStreamInteropWeReadStdlib(t *testing.T) {
+	data := []byte(strings.Repeat("the reverse direction. ", 30_000))
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := streamDecompress(t, buf.Bytes(), 4096)
+	if !bytes.Equal(got, data) {
+		t.Fatal("we decoded stdlib stream differently")
+	}
+}
+
+func TestStreamReaderReadsOneShotOutput(t *testing.T) {
+	data := []byte(strings.Repeat("one-shot to streaming ", 20_000))
+	comp, err := GzipCompress(data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := streamDecompress(t, comp, 1000)
+	if !bytes.Equal(got, data) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestStreamOneShotReadsWriterOutput(t *testing.T) {
+	data := []byte(strings.Repeat("streaming to one-shot ", 20_000))
+	comp := streamCompress(t, data, 9, 64_000)
+	got, err := GzipDecompress(comp, 0)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("one-shot decode of streamed output: %v", err)
+	}
+}
+
+func TestStreamLargeConstantMemory(t *testing.T) {
+	// 8 MB of compressible data through 64 kB reads: the reader's window
+	// must stay bounded (this test mainly guards against accidental
+	// whole-stream buffering regressions — it completes quickly only if
+	// decoding is incremental).
+	rng := rand.New(rand.NewSource(55))
+	data := make([]byte, 8<<20)
+	for i := range data {
+		data[i] = byte(rng.Intn(6))
+	}
+	comp := streamCompress(t, data, 1, 1<<20)
+	zr := NewReader(bytes.NewReader(comp))
+	buf := make([]byte, 64*1024)
+	var total int
+	for {
+		n, err := zr.Read(buf)
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != len(data) {
+		t.Fatalf("decoded %d of %d", total, len(data))
+	}
+}
+
+func TestStreamWriterFlush(t *testing.T) {
+	var buf bytes.Buffer
+	zw, err := NewWriter(&buf, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write([]byte("first part ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mid := buf.Len()
+	if mid == 0 {
+		t.Fatal("flush produced no output")
+	}
+	if _, err := zw.Write([]byte("second part")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := streamDecompress(t, buf.Bytes(), 64)
+	if string(got) != "first part second part" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStreamWriteAfterClose(t *testing.T) {
+	zw, err := NewWriter(io.Discard, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write([]byte("x")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	// Second Close is a no-op.
+	if err := zw.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestStreamReaderDetectsCorruption(t *testing.T) {
+	data := []byte(strings.Repeat("corruption detection in the streaming reader ", 5000))
+	comp := streamCompress(t, data, 9, 1<<20)
+	bad := append([]byte{}, comp...)
+	bad[len(bad)-6] ^= 0xFF // trailer CRC byte
+	zr := NewReader(bytes.NewReader(bad))
+	if _, err := io.ReadAll(zr); err == nil {
+		t.Fatal("corrupted trailer accepted")
+	}
+	// Sticky error on subsequent reads.
+	if _, err := zr.Read(make([]byte, 1)); err == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestStreamMatchesAcrossReadBoundaries(t *testing.T) {
+	// Long matches split across many small reads must reconstruct exactly.
+	data := append(bytes.Repeat([]byte("abcdefgh"), 10_000), bytes.Repeat([]byte{0}, 50_000)...)
+	comp := streamCompress(t, data, 9, 1<<20)
+	got := streamDecompress(t, comp, 3) // tiny reads
+	if !bytes.Equal(got, data) {
+		t.Fatal("mismatch with tiny reads")
+	}
+}
+
+func BenchmarkStreamWriter(b *testing.B) {
+	data := []byte(strings.Repeat("streaming writer benchmark content 0123456789\n", 20_000))
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		zw, err := NewWriter(io.Discard, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := zw.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamReader(b *testing.B) {
+	data := []byte(strings.Repeat("streaming reader benchmark content 0123456789\n", 20_000))
+	comp, err := GzipCompress(data, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64*1024)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zr := NewReader(bytes.NewReader(comp))
+		for {
+			_, err := zr.Read(buf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

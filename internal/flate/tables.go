@@ -1,0 +1,113 @@
+package flate
+
+// DEFLATE symbol-table constants (RFC 1951).
+const (
+	endBlockMarker = 256
+	maxNumLit      = 286
+	maxNumDist     = 30
+	numCLSymbols   = 19
+
+	maxCodeBits   = 15
+	maxCLCodeBits = 7
+)
+
+// lengthCode maps a match length (3..258) to its length code, extra-bit
+// count and base.
+type lengthEntry struct {
+	code  uint16
+	extra uint8
+	base  uint16
+}
+
+// lengthTable is indexed by code-257 and holds (extra, base) per RFC 1951.
+var lengthTable = [29]struct {
+	extra uint8
+	base  uint16
+}{
+	{0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8}, {0, 9}, {0, 10},
+	{1, 11}, {1, 13}, {1, 15}, {1, 17}, {2, 19}, {2, 23}, {2, 27}, {2, 31},
+	{3, 35}, {3, 43}, {3, 51}, {3, 59}, {4, 67}, {4, 83}, {4, 99}, {4, 115},
+	{5, 131}, {5, 163}, {5, 195}, {5, 227}, {0, 258},
+}
+
+// distTable is indexed by distance code and holds (extra, base).
+var distTable = [30]struct {
+	extra uint8
+	base  uint16
+}{
+	{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 5}, {1, 7}, {2, 9}, {2, 13},
+	{3, 17}, {3, 25}, {4, 33}, {4, 49}, {5, 65}, {5, 97}, {6, 129}, {6, 193},
+	{7, 257}, {7, 385}, {8, 513}, {8, 769}, {9, 1025}, {9, 1537},
+	{10, 2049}, {10, 3073}, {11, 4097}, {11, 6145}, {12, 8193}, {12, 12289},
+	{13, 16385}, {13, 24577},
+}
+
+// clOrder is the permuted order in which code-length-code lengths appear in
+// a dynamic block header.
+var clOrder = [numCLSymbols]byte{
+	16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+}
+
+// lengthCodes is a 3..258 -> entry lookup built once.
+var lengthCodes = buildLengthCodes()
+
+func buildLengthCodes() [259]lengthEntry {
+	var t [259]lengthEntry
+	for code := 0; code < 29; code++ {
+		e := lengthTable[code]
+		hi := int(e.base) + (1 << e.extra) - 1
+		if code == 28 {
+			hi = 258
+		}
+		for l := int(e.base); l <= hi && l <= 258; l++ {
+			t[l] = lengthEntry{code: uint16(code + 257), extra: e.extra, base: e.base}
+		}
+	}
+	// Length 258 is its own zero-extra code 285, which the loop above sets
+	// last, overriding code 284's range end.
+	t[258] = lengthEntry{code: 285, extra: 0, base: 258}
+	return t
+}
+
+// distCode returns the distance code for a distance in 1..32768.
+func distCode(d int) int {
+	// Binary search over the 30-entry base table (called on every match;
+	// a branchy search on 30 entries is plenty fast and simple).
+	lo, hi := 0, 29
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(distTable[mid].base) <= d {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// fixedLitLengths returns the fixed lit/len code lengths of RFC 1951 §3.2.6.
+func fixedLitLengths() []uint8 {
+	lens := make([]uint8, 288)
+	for i := 0; i <= 143; i++ {
+		lens[i] = 8
+	}
+	for i := 144; i <= 255; i++ {
+		lens[i] = 9
+	}
+	for i := 256; i <= 279; i++ {
+		lens[i] = 7
+	}
+	for i := 280; i <= 287; i++ {
+		lens[i] = 8
+	}
+	return lens
+}
+
+// fixedDistLengths returns the fixed distance code lengths (all 5 bits).
+func fixedDistLengths() []uint8 {
+	lens := make([]uint8, 32)
+	for i := range lens {
+		lens[i] = 5
+	}
+	return lens
+}

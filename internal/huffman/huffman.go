@@ -1,0 +1,263 @@
+// Package huffman implements canonical Huffman coding: optimal
+// length-limited code construction via the package-merge algorithm,
+// canonical code assignment, and a table-driven canonical decoder.
+//
+// Both the DEFLATE encoder (internal/flate) and the bzip2-style encoder
+// (internal/bwt) build their codes here. Codes are produced in canonical
+// (MSB-first) form; DEFLATE reverses them for its LSB-first bit stream.
+package huffman
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInvalidLengths is returned when a set of code lengths does not describe
+// a valid (complete or empty) prefix code.
+var ErrInvalidLengths = errors.New("huffman: invalid code lengths")
+
+// BuildLengths computes optimal code lengths for the given symbol
+// frequencies, with no code longer than maxBits, using the package-merge
+// algorithm. Symbols with zero frequency get length zero. If only one symbol
+// has nonzero frequency it is assigned length one (a degenerate but valid
+// prefix code, as in DEFLATE).
+func BuildLengths(freq []int, maxBits int) ([]uint8, error) {
+	n := len(freq)
+	lengths := make([]uint8, n)
+	var used []int
+	for i, f := range freq {
+		if f < 0 {
+			return nil, fmt.Errorf("huffman: negative frequency for symbol %d", i)
+		}
+		if f > 0 {
+			used = append(used, i)
+		}
+	}
+	switch len(used) {
+	case 0:
+		return lengths, nil
+	case 1:
+		lengths[used[0]] = 1
+		return lengths, nil
+	}
+	if maxBits < 1 || len(used) > 1<<maxBits {
+		return nil, fmt.Errorf("huffman: %d symbols cannot fit in %d bits", len(used), maxBits)
+	}
+
+	// Package-merge. Each item carries its weight and a count of how many
+	// times each original leaf participates.
+	type item struct {
+		weight int64
+		count  []int32 // parallel to used
+	}
+	leaves := make([]item, len(used))
+	for i, s := range used {
+		c := make([]int32, len(used))
+		c[i] = 1
+		leaves[i] = item{weight: int64(freq[s]), count: c}
+	}
+	sort.Slice(leaves, func(a, b int) bool { return leaves[a].weight < leaves[b].weight })
+
+	merge := func(a, b []item) []item {
+		out := make([]item, 0, len(a)+len(b))
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i].weight <= b[j].weight {
+				out = append(out, a[i])
+				i++
+			} else {
+				out = append(out, b[j])
+				j++
+			}
+		}
+		out = append(out, a[i:]...)
+		out = append(out, b[j:]...)
+		return out
+	}
+	pairUp := func(items []item) []item {
+		out := make([]item, 0, len(items)/2)
+		for i := 0; i+1 < len(items); i += 2 {
+			c := make([]int32, len(used))
+			for k := range c {
+				c[k] = items[i].count[k] + items[i+1].count[k]
+			}
+			out = append(out, item{weight: items[i].weight + items[i+1].weight, count: c})
+		}
+		return out
+	}
+
+	packages := append([]item{}, leaves...)
+	for level := 1; level < maxBits; level++ {
+		packages = merge(leaves, pairUp(packages))
+	}
+	// The first 2n-2 items of the final list determine the lengths: the
+	// length of a leaf is the number of selected items containing it.
+	take := 2*len(used) - 2
+	counts := make([]int32, len(used))
+	for _, it := range packages[:take] {
+		for k, c := range it.count {
+			counts[k] += c
+		}
+	}
+	for k, s := range used {
+		if counts[k] < 1 || counts[k] > int32(maxBits) {
+			return nil, fmt.Errorf("huffman: package-merge produced length %d for symbol %d", counts[k], s)
+		}
+		lengths[s] = uint8(counts[k])
+	}
+	return lengths, nil
+}
+
+// CanonicalCodes assigns canonical codes (MSB-aligned within their length)
+// to the given lengths: codes of the same length are consecutive in symbol
+// order, and shorter codes lexicographically precede longer ones.
+func CanonicalCodes(lengths []uint8) ([]uint32, error) {
+	maxLen := uint8(0)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	codes := make([]uint32, len(lengths))
+	if maxLen == 0 {
+		return codes, nil
+	}
+	if maxLen > 57 {
+		return nil, ErrInvalidLengths
+	}
+	var count [58]int
+	for _, l := range lengths {
+		if l > 0 {
+			count[l]++
+		}
+	}
+	var next [58]uint32
+	code := uint32(0)
+	for l := uint8(1); l <= maxLen; l++ {
+		code = (code + uint32(count[l-1])) << 1
+		next[l] = code
+	}
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		codes[s] = next[l]
+		next[l]++
+		if codes[s] >= 1<<l {
+			return nil, ErrInvalidLengths
+		}
+	}
+	return codes, nil
+}
+
+// KraftSum returns the Kraft sum of the lengths scaled by 2^scale where
+// scale is the maximum length: sum over symbols of 2^(scale-len). A complete
+// prefix code has KraftSum == 2^scale.
+func KraftSum(lengths []uint8) (sum uint64, scale uint8) {
+	for _, l := range lengths {
+		if l > scale {
+			scale = l
+		}
+	}
+	for _, l := range lengths {
+		if l > 0 {
+			sum += 1 << (scale - l)
+		}
+	}
+	return sum, scale
+}
+
+// BitSource yields one bit per call; both bitio readers satisfy it.
+type BitSource interface {
+	ReadBit() uint64
+}
+
+// Decoder decodes canonical Huffman codes one bit at a time.
+type Decoder struct {
+	maxLen  int
+	first   [58]uint32 // first canonical code of each length
+	offset  [58]int32  // index into syms of the first code of each length
+	count   [58]int32
+	syms    []int32 // symbols ordered by (length, symbol)
+	symbols int
+}
+
+// NewDecoder builds a decoder for the given canonical code lengths. Lengths
+// describing an over-subscribed code are rejected; incomplete codes are
+// accepted only in the degenerate single-symbol case (as DEFLATE allows).
+func NewDecoder(lengths []uint8) (*Decoder, error) {
+	d := &Decoder{}
+	nonzero := 0
+	for _, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if int(l) > d.maxLen {
+			d.maxLen = int(l)
+		}
+		d.count[l]++
+		nonzero++
+	}
+	if nonzero == 0 {
+		return nil, ErrInvalidLengths
+	}
+	sum, scale := KraftSum(lengths)
+	if sum > 1<<scale {
+		return nil, ErrInvalidLengths
+	}
+	if sum < 1<<scale && nonzero != 1 {
+		return nil, ErrInvalidLengths
+	}
+	code := uint32(0)
+	idx := int32(0)
+	for l := 1; l <= d.maxLen; l++ {
+		code = (code + uint32(d.count[l-1])) << 1
+		d.first[l] = code
+		d.offset[l] = idx
+		idx += d.count[l]
+	}
+	d.syms = make([]int32, nonzero)
+	pos := make([]int32, d.maxLen+1)
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		d.syms[d.offset[l]+pos[l]] = int32(s)
+		pos[l]++
+	}
+	d.symbols = nonzero
+	return d, nil
+}
+
+// Decode reads bits from src until a complete code is seen and returns the
+// decoded symbol. It returns an error if the bit pattern is not a valid code
+// within the maximum length (possible only for degenerate codes or corrupt
+// input past EOF, which the caller detects via the reader's sticky error).
+func (d *Decoder) Decode(src BitSource) (int, error) {
+	code := uint32(0)
+	for l := 1; l <= d.maxLen; l++ {
+		code = code<<1 | uint32(src.ReadBit())
+		if c := d.count[l]; c > 0 && code >= d.first[l] && code < d.first[l]+uint32(c) {
+			return int(d.syms[d.offset[l]+int32(code-d.first[l])]), nil
+		}
+	}
+	return 0, fmt.Errorf("huffman: invalid code %#b", code)
+}
+
+// MaxLen reports the longest code length in the decoder's code.
+func (d *Decoder) MaxLen() int { return d.maxLen }
+
+// NumSymbols reports the number of symbols with nonzero code length.
+func (d *Decoder) NumSymbols() int { return d.symbols }
+
+// Reverse returns the low n bits of v in reversed order, used to emit
+// canonical codes into DEFLATE's LSB-first stream.
+func Reverse(v uint32, n uint8) uint32 {
+	var r uint32
+	for i := uint8(0); i < n; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return r
+}

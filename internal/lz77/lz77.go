@@ -1,0 +1,326 @@
+// Package lz77 implements the sliding-window string matcher at the heart of
+// the LZ77/DEFLATE family: a 32 KB window, hash-chain candidate search and
+// lazy matching, with the level-1..9 effort configuration popularised by
+// zlib. The paper's winning scheme (gzip 1.2.4, level 9) is built on exactly
+// this matcher.
+package lz77
+
+import "fmt"
+
+// Matching parameters fixed by the DEFLATE format.
+const (
+	MinMatch   = 3
+	MaxMatch   = 258
+	WindowSize = 32 * 1024
+	MaxDist    = WindowSize
+)
+
+const (
+	hashBits = 15
+	hashSize = 1 << hashBits
+	hashMask = hashSize - 1
+)
+
+// Token is a single LZ77 output symbol: either a literal byte (Len == 0) or
+// a back-reference of Len bytes at distance Dist.
+type Token struct {
+	Len  uint16
+	Dist uint16
+	Lit  byte
+}
+
+// Literal constructs a literal token.
+func Literal(b byte) Token { return Token{Lit: b} }
+
+// Match constructs a back-reference token.
+func Match(length, dist int) Token {
+	return Token{Len: uint16(length), Dist: uint16(dist)}
+}
+
+// IsLiteral reports whether the token is a literal byte.
+func (t Token) IsLiteral() bool { return t.Len == 0 }
+
+// Advance reports how many input bytes the token covers.
+func (t Token) Advance() int {
+	if t.Len == 0 {
+		return 1
+	}
+	return int(t.Len)
+}
+
+// Config controls matcher effort, mirroring zlib's configuration_table.
+type Config struct {
+	// GoodLength: once a match of at least this length is found, reduce
+	// chain search effort for the lazy candidate.
+	GoodLength int
+	// MaxLazy: do not attempt lazy matching when the current match is at
+	// least this long.
+	MaxLazy int
+	// NiceLength: stop searching the chain when a match of this length is
+	// found.
+	NiceLength int
+	// MaxChain: maximum hash-chain positions examined per match attempt.
+	MaxChain int
+	// Lazy enables one-byte-deferred (lazy) matching.
+	Lazy bool
+}
+
+// LevelConfig returns the effort configuration for compression levels 1-9.
+// The table mirrors zlib 1.1.3, the library the paper measured.
+func LevelConfig(level int) (Config, error) {
+	switch level {
+	case 1:
+		return Config{GoodLength: 4, MaxLazy: 4, NiceLength: 8, MaxChain: 4}, nil
+	case 2:
+		return Config{GoodLength: 4, MaxLazy: 5, NiceLength: 16, MaxChain: 8}, nil
+	case 3:
+		return Config{GoodLength: 4, MaxLazy: 6, NiceLength: 32, MaxChain: 32}, nil
+	case 4:
+		return Config{GoodLength: 4, MaxLazy: 4, NiceLength: 16, MaxChain: 16, Lazy: true}, nil
+	case 5:
+		return Config{GoodLength: 8, MaxLazy: 16, NiceLength: 32, MaxChain: 32, Lazy: true}, nil
+	case 6:
+		return Config{GoodLength: 8, MaxLazy: 16, NiceLength: 128, MaxChain: 128, Lazy: true}, nil
+	case 7:
+		return Config{GoodLength: 8, MaxLazy: 32, NiceLength: 128, MaxChain: 256, Lazy: true}, nil
+	case 8:
+		return Config{GoodLength: 32, MaxLazy: 128, NiceLength: 258, MaxChain: 1024, Lazy: true}, nil
+	case 9:
+		return Config{GoodLength: 32, MaxLazy: 258, NiceLength: 258, MaxChain: 4096, Lazy: true}, nil
+	default:
+		return Config{}, fmt.Errorf("lz77: level %d out of range 1..9", level)
+	}
+}
+
+// Matcher tokenises input using hash-chain search over a sliding window.
+// A Matcher is reusable via Reset and not safe for concurrent use.
+type Matcher struct {
+	cfg  Config
+	head []int32
+	prev []int32
+}
+
+// NewMatcher returns a matcher at the given compression level.
+func NewMatcher(level int) (*Matcher, error) {
+	cfg, err := LevelConfig(level)
+	if err != nil {
+		return nil, err
+	}
+	m := &Matcher{
+		cfg:  cfg,
+		head: make([]int32, hashSize),
+		prev: make([]int32, WindowSize),
+	}
+	m.reset()
+	return m, nil
+}
+
+func (m *Matcher) reset() {
+	for i := range m.head {
+		m.head[i] = -1
+	}
+	for i := range m.prev {
+		m.prev[i] = -1
+	}
+}
+
+func hash4(data []byte, i int) uint32 {
+	// Multiplicative hash over 4 bytes; good dispersion for text and binary.
+	v := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24
+	return (v * 2654435761) >> (32 - hashBits) & hashMask
+}
+
+func hash3(data []byte, i int) uint32 {
+	v := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16
+	return (v * 506832829) >> (32 - hashBits) & hashMask
+}
+
+func (m *Matcher) hashAt(data []byte, i int) uint32 {
+	if i+4 <= len(data) {
+		return hash4(data, i)
+	}
+	return hash3(data, i)
+}
+
+func (m *Matcher) insert(data []byte, i int) {
+	h := m.hashAt(data, i)
+	m.prev[i&(WindowSize-1)] = m.head[h]
+	m.head[h] = int32(i)
+}
+
+// findMatch searches the hash chain for the longest match at position i,
+// requiring it to beat prevLen. It returns length 0 when nothing longer is
+// found.
+func (m *Matcher) findMatch(data []byte, i, prevLen, maxChain int) (length, dist int) {
+	limit := i - MaxDist
+	if limit < 0 {
+		limit = 0
+	}
+	maxLen := len(data) - i
+	if maxLen > MaxMatch {
+		maxLen = MaxMatch
+	}
+	if maxLen < MinMatch {
+		return 0, 0
+	}
+	nice := m.cfg.NiceLength
+	if nice > maxLen {
+		nice = maxLen
+	}
+	best := prevLen
+	bestDist := 0
+	cand := m.head[m.hashAt(data, i)]
+	for chain := 0; chain < maxChain && cand >= int32(limit) && cand >= 0; chain++ {
+		j := int(cand)
+		if j >= i {
+			// Stale entry from a previous Reset epoch.
+			cand = m.prev[j&(WindowSize-1)]
+			continue
+		}
+		// Quick rejects: last byte of the would-be match, then first.
+		if best >= 1 && (i+best >= len(data) || data[j+best] != data[i+best]) {
+			cand = m.prev[j&(WindowSize-1)]
+			continue
+		}
+		l := matchLen(data, j, i, maxLen)
+		if l > best {
+			best = l
+			bestDist = i - j
+			if l >= nice {
+				break
+			}
+		}
+		cand = m.prev[j&(WindowSize-1)]
+	}
+	if bestDist == 0 || best < MinMatch {
+		return 0, 0
+	}
+	return best, bestDist
+}
+
+func matchLen(data []byte, j, i, maxLen int) int {
+	n := 0
+	for n < maxLen && data[j+n] == data[i+n] {
+		n++
+	}
+	return n
+}
+
+// Tokenize scans data and emits LZ77 tokens through emit. The token stream
+// exactly covers data: the sum of Advance() over all tokens equals
+// len(data). Reset state is cleared per call, so each call tokenises an
+// independent buffer (one compression "member").
+func (m *Matcher) Tokenize(data []byte, emit func(Token)) {
+	m.reset()
+	n := len(data)
+	if n == 0 {
+		return
+	}
+	i := 0
+	// Pending lazy literal state.
+	prevLen, prevDist := 0, 0
+	havePrev := false
+	for i < n {
+		if n-i < MinMatch {
+			if havePrev {
+				emit(Literal(data[i-1]))
+				havePrev = false
+			}
+			for ; i < n; i++ {
+				emit(Literal(data[i]))
+			}
+			break
+		}
+		chain := m.cfg.MaxChain
+		if havePrev && prevLen >= m.cfg.GoodLength {
+			chain >>= 2
+		}
+		curLen, curDist := m.findMatch(data, i, 0, chain)
+
+		if !m.cfg.Lazy {
+			if curLen >= MinMatch {
+				emit(Match(curLen, curDist))
+				// Insert positions covered by the match (bounded for speed
+				// at low levels, as zlib does for short inserts).
+				end := i + curLen
+				m.insert(data, i)
+				for k := i + 1; k < end && k+MinMatch <= n; k++ {
+					m.insert(data, k)
+				}
+				i = end
+			} else {
+				emit(Literal(data[i]))
+				m.insert(data, i)
+				i++
+			}
+			continue
+		}
+
+		// Lazy matching: compare this position's match with the previous
+		// position's pending match.
+		if havePrev {
+			if curLen > prevLen && prevLen < m.cfg.MaxLazy {
+				// The new match is better: the previous byte becomes a
+				// literal and the new match stays pending.
+				emit(Literal(data[i-1]))
+				prevLen, prevDist = curLen, curDist
+				m.insert(data, i)
+				i++
+				continue
+			}
+			// Previous match wins; emit it anchored at i-1.
+			emit(Match(prevLen, prevDist))
+			end := i - 1 + prevLen
+			for k := i; k < end && k+MinMatch <= n; k++ {
+				m.insert(data, k)
+			}
+			i = end
+			havePrev = false
+			continue
+		}
+		if curLen >= MinMatch && curLen < m.cfg.MaxLazy {
+			// Defer the decision by one byte.
+			prevLen, prevDist = curLen, curDist
+			havePrev = true
+			m.insert(data, i)
+			i++
+			continue
+		}
+		if curLen >= MinMatch {
+			emit(Match(curLen, curDist))
+			end := i + curLen
+			m.insert(data, i)
+			for k := i + 1; k < end && k+MinMatch <= n; k++ {
+				m.insert(data, k)
+			}
+			i = end
+			continue
+		}
+		emit(Literal(data[i]))
+		m.insert(data, i)
+		i++
+	}
+	if havePrev {
+		emit(Literal(data[n-1]))
+	}
+}
+
+// Expand reconstructs the original bytes from a token stream, appending to
+// dst. It is the decoding half of the LZ77 layer and is shared by tests and
+// the DEFLATE decoder's copy loop.
+func Expand(dst []byte, tokens []Token) ([]byte, error) {
+	for _, t := range tokens {
+		if t.IsLiteral() {
+			dst = append(dst, t.Lit)
+			continue
+		}
+		d := int(t.Dist)
+		if d <= 0 || d > len(dst) {
+			return nil, fmt.Errorf("lz77: invalid distance %d at output size %d", d, len(dst))
+		}
+		for k := 0; k < int(t.Len); k++ {
+			dst = append(dst, dst[len(dst)-d])
+		}
+	}
+	return dst, nil
+}

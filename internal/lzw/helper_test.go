@@ -1,0 +1,14 @@
+package lzw
+
+import "repro/internal/bitio"
+
+// newTestBitWriter exposes the production bit packing for crafted-stream
+// tests.
+type testBitWriter struct{ w *bitio.LSBWriter }
+
+func newTestBitWriter(out *sliceWriter) *testBitWriter {
+	return &testBitWriter{w: bitio.NewLSBWriter(out)}
+}
+
+func (t *testBitWriter) write(v uint64, n uint) { t.w.WriteBits(v, n) }
+func (t *testBitWriter) flush()                 { _ = t.w.Flush() }

@@ -1,0 +1,289 @@
+// Package lzw implements the LZW compressor of the UNIX compress tool
+// (ncompress 4.2.4), the second scheme measured by the paper: a growing
+// dictionary with 9- to 16-bit codes and, in block mode, an adaptive
+// dictionary reset when the compression ratio starts to decay.
+//
+// The on-disk framing follows the .Z layout (magic 0x1f 0x9d, a flags byte
+// carrying maxBits and the block-mode bit, LSB-first code packing); the
+// historical bit-group padding quirk of ncompress is intentionally not
+// replicated, so streams are self-consistent rather than bit-identical to
+// the 1984 tool.
+package lzw
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitio"
+)
+
+const (
+	magicByte1 = 0x1f
+	magicByte2 = 0x9d
+
+	blockModeFlag = 0x80
+	maxBitsMask   = 0x1f
+
+	// MinBits and MaxBits bound the code width, as in compress -b.
+	MinBits = 9
+	MaxBits = 16
+
+	clearCode = 256
+	firstCode = 257
+
+	// checkGap is how often (input bytes) the block-mode compressor
+	// re-evaluates the compression ratio once the table is full.
+	checkGap = 10000
+)
+
+// ErrCorrupt is returned for structurally invalid .Z streams.
+var ErrCorrupt = errors.New("lzw: corrupt stream")
+
+type dictEntry struct {
+	key  uint32
+	code uint16
+}
+
+// hashTable is an open-addressed (prefix, byte) -> code map sized for the
+// 16-bit code space.
+type hashTable struct {
+	entries []dictEntry
+	mask    uint32
+}
+
+func newHashTable() *hashTable {
+	const size = 1 << 17 // 2x the max code count keeps probe chains short
+	h := &hashTable{entries: make([]dictEntry, size), mask: size - 1}
+	h.clear()
+	return h
+}
+
+func (h *hashTable) clear() {
+	for i := range h.entries {
+		h.entries[i].key = ^uint32(0)
+	}
+}
+
+func key(prefix uint16, b byte) uint32 { return uint32(prefix)<<8 | uint32(b) }
+
+func (h *hashTable) lookup(k uint32) (uint16, bool) {
+	i := (k * 2654435761) & h.mask
+	for {
+		e := h.entries[i]
+		if e.key == ^uint32(0) {
+			return 0, false
+		}
+		if e.key == k {
+			return e.code, true
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+func (h *hashTable) insert(k uint32, code uint16) {
+	i := (k * 2654435761) & h.mask
+	for h.entries[i].key != ^uint32(0) {
+		i = (i + 1) & h.mask
+	}
+	h.entries[i] = dictEntry{key: k, code: code}
+}
+
+// Compress compresses data in the .Z block-mode format with codes up to
+// maxBits wide (9..16). The paper's experiments use "compress -b 16".
+func Compress(data []byte, maxBits int) ([]byte, error) {
+	if maxBits < MinBits || maxBits > MaxBits {
+		return nil, fmt.Errorf("lzw: maxBits %d out of range %d..%d", maxBits, MinBits, MaxBits)
+	}
+	out := &sliceWriter{b: []byte{magicByte1, magicByte2, byte(maxBits) | blockModeFlag}}
+	if len(data) == 0 {
+		return out.b, nil
+	}
+	bw := bitio.NewLSBWriter(out)
+
+	table := newHashTable()
+	nextCode := firstCode
+	width := uint(MinBits)
+	maxCode := 1<<maxBits - 1
+
+	// Ratio-decay bookkeeping for the adaptive reset.
+	inBytes, outBits := 0, 0
+	lastCheck := 0
+	var lastRatio float64
+
+	emit := func(code uint16) {
+		bw.WriteBits(uint64(code), width)
+		outBits += int(width)
+	}
+
+	prefix := uint16(data[0])
+	inBytes = 1
+	for _, c := range data[1:] {
+		inBytes++
+		k := key(prefix, c)
+		if code, ok := table.lookup(k); ok {
+			prefix = code
+			continue
+		}
+		emit(prefix)
+		if nextCode <= maxCode {
+			table.insert(k, uint16(nextCode))
+			nextCode++
+			if nextCode == 1<<width && width < uint(maxBits) {
+				width++
+			}
+		} else if inBytes-lastCheck >= checkGap {
+			// Table is full: consider clearing when the ratio decays,
+			// exactly compress's cl_block policy.
+			lastCheck = inBytes
+			ratio := float64(inBytes*8) / float64(outBits+1)
+			if ratio < lastRatio {
+				emit(clearCode)
+				table.clear()
+				nextCode = firstCode
+				width = MinBits
+				lastRatio = 0
+			} else {
+				lastRatio = ratio
+			}
+		}
+		prefix = uint16(c)
+	}
+	emit(prefix)
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return out.b, nil
+}
+
+// Decompress decodes a .Z stream produced by Compress. maxSize, if
+// positive, bounds the decompressed size.
+func Decompress(data []byte, maxSize int) ([]byte, error) {
+	if len(data) < 3 {
+		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	if data[0] != magicByte1 || data[1] != magicByte2 {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	flags := data[2]
+	maxBits := int(flags & maxBitsMask)
+	blockMode := flags&blockModeFlag != 0
+	if maxBits < MinBits || maxBits > MaxBits {
+		return nil, fmt.Errorf("%w: maxBits %d", ErrCorrupt, maxBits)
+	}
+	body := data[3:]
+	if len(body) == 0 {
+		return []byte{}, nil
+	}
+	br := bitio.NewLSBReader(&sliceReader{b: body})
+
+	// suffix/prefixOf arrays decode codes back to strings.
+	size := 1 << maxBits
+	suffix := make([]byte, size)
+	prefixOf := make([]uint16, size)
+	for i := 0; i < 256; i++ {
+		suffix[i] = byte(i)
+	}
+	nextCode := firstCode
+	width := uint(MinBits)
+
+	var out []byte
+	buf := make([]byte, 0, 4096) // reversed-string scratch
+
+	expand := func(code uint16) ([]byte, error) {
+		buf = buf[:0]
+		for code >= 256 {
+			if int(code) >= int(nextCode) {
+				return nil, fmt.Errorf("%w: code %d beyond table %d", ErrCorrupt, code, nextCode)
+			}
+			buf = append(buf, suffix[code])
+			code = prefixOf[code]
+		}
+		buf = append(buf, byte(code))
+		// Reverse in place.
+		for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+		return buf, nil
+	}
+
+	readCode := func() (uint16, bool) {
+		if br.AtEOF() {
+			return 0, false
+		}
+		v := br.ReadBits(width)
+		if br.Err() != nil {
+			return 0, false
+		}
+		return uint16(v), true
+	}
+
+	prev := int32(-1)
+	var prevFirst byte
+	for {
+		// Mirror the encoder's width schedule: the decoder runs one table
+		// entry behind, so it widens one code earlier.
+		if prev >= 0 && nextCode == 1<<width-1 && width < uint(maxBits) {
+			width++
+		}
+		code, ok := readCode()
+		if !ok {
+			break
+		}
+		if blockMode && code == clearCode {
+			nextCode = firstCode
+			width = MinBits
+			prev = -1
+			continue
+		}
+		var s []byte
+		if prev >= 0 && int(code) == nextCode && nextCode < size {
+			// KwKwK: string is prev's string + its own first byte.
+			ps, err := expand(uint16(prev))
+			if err != nil {
+				return nil, err
+			}
+			s = append(ps, prevFirst)
+		} else {
+			var err error
+			s, err = expand(code)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if maxSize > 0 && len(out)+len(s) > maxSize {
+			return nil, fmt.Errorf("%w: output exceeds limit %d", ErrCorrupt, maxSize)
+		}
+		out = append(out, s...)
+		if prev >= 0 && nextCode < size {
+			suffix[nextCode] = s[0]
+			prefixOf[nextCode] = uint16(prev)
+			nextCode++
+		}
+		prev = int32(code)
+		prevFirst = s[0]
+	}
+	if out == nil {
+		out = []byte{}
+	}
+	return out, nil
+}
+
+type sliceWriter struct{ b []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+type sliceReader struct{ b []byte }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, errEOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}
+
+var errEOF = errors.New("EOF")

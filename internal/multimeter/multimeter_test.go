@@ -1,0 +1,150 @@
+package multimeter
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func TestConstantCurrentReading(t *testing.T) {
+	k := sim.NewKernel()
+	d := device.New(k, device.DefaultPowerTable())
+	m := New(k, d, 300)
+	m.Trigger()
+	k.Schedule(2*time.Second, func() { m.Stop() })
+	k.Run()
+	r, err := m.Reading()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgMA != 310 || r.MinMA != 310 || r.MaxMA != 310 {
+		t.Errorf("avg/min/max = %v/%v/%v", r.AvgMA, r.MinMA, r.MaxMA)
+	}
+	want := 5 * 0.310 * 2
+	if math.Abs(r.EnergyJ-want) > 1e-6 {
+		t.Errorf("energy %v, want %v", r.EnergyJ, want)
+	}
+	if math.Abs(r.EnergyJ-r.ExactJ) > 1e-6 {
+		t.Errorf("sampled %v vs exact %v should agree on constant current", r.EnergyJ, r.ExactJ)
+	}
+	if r.Samples < 590 || r.Samples > 610 {
+		t.Errorf("samples %d, want ~600", r.Samples)
+	}
+}
+
+func TestMinMaxTracksStateChanges(t *testing.T) {
+	k := sim.NewKernel()
+	d := device.New(k, device.DefaultPowerTable())
+	m := New(k, d, 300)
+	m.Trigger()
+	k.Schedule(time.Second, func() { d.SetCPU(device.CPUBusy) })
+	k.Schedule(2*time.Second, func() { d.SetRadio(device.RadioSleep) })
+	k.Schedule(3*time.Second, func() { m.Stop() })
+	k.Run()
+	r, err := m.Reading()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinMA != 310 {
+		t.Errorf("min %v, want 310 (busy+sleep)", r.MinMA)
+	}
+	if r.MaxMA != 570 {
+		t.Errorf("max %v, want 570 (busy+idle)", r.MaxMA)
+	}
+}
+
+func TestSamplingErrorSmall(t *testing.T) {
+	// A fast square wave between states: the sampled average should land
+	// within a couple percent of the exact integral.
+	k := sim.NewKernel()
+	d := device.New(k, device.DefaultPowerTable())
+	m := New(k, d, 300)
+	m.Trigger()
+	var toggle func()
+	n := 0
+	toggle = func() {
+		if n >= 2000 {
+			m.Stop()
+			return
+		}
+		if n%2 == 0 {
+			d.SetCPU(device.CPUBusy)
+		} else {
+			d.SetCPU(device.CPUIdle)
+		}
+		n++
+		k.Schedule(time.Duration(1+n%3)*time.Millisecond, toggle)
+	}
+	k.Schedule(0, toggle)
+	k.Run()
+	r, err := m.Reading()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(r.EnergyJ-r.ExactJ) / r.ExactJ; rel > 0.03 {
+		t.Errorf("sampling error %.4f, want < 3%%", rel)
+	}
+	if rel := math.Abs(r.EnergyJ-r.ExactJ) / r.ExactJ; rel == 0 {
+		t.Log("sampled energy exactly equals integral (acceptable but unusual)")
+	}
+}
+
+func TestReadingBeforeTrigger(t *testing.T) {
+	k := sim.NewKernel()
+	d := device.New(k, device.DefaultPowerTable())
+	m := New(k, d, 300)
+	if _, err := m.Reading(); !errors.Is(err, ErrNotTriggered) {
+		t.Errorf("want ErrNotTriggered, got %v", err)
+	}
+}
+
+func TestVeryShortWindowFallsBackToExact(t *testing.T) {
+	k := sim.NewKernel()
+	d := device.New(k, device.DefaultPowerTable())
+	m := New(k, d, 300)
+	m.Trigger()
+	k.Schedule(time.Millisecond, func() { m.Stop() }) // < 1 sample period
+	k.Run()
+	r, err := m.Reading()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples != 0 {
+		t.Errorf("expected 0 samples, got %d", r.Samples)
+	}
+	want := 5 * 0.310 * 0.001
+	if math.Abs(r.EnergyJ-want) > 1e-9 {
+		t.Errorf("fallback energy %v, want %v", r.EnergyJ, want)
+	}
+}
+
+func TestRetrigger(t *testing.T) {
+	k := sim.NewKernel()
+	d := device.New(k, device.DefaultPowerTable())
+	m := New(k, d, 300)
+	m.Trigger()
+	k.Schedule(time.Second, func() { m.Stop() })
+	k.Run()
+	first, err := m.Reading()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Trigger()
+	k.Schedule(2*time.Second, func() { d.SetCPU(device.CPUBusy) })
+	k.Schedule(3*time.Second, func() { m.Stop() })
+	k.Run()
+	second, err := m.Reading()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Duration <= first.Duration {
+		t.Errorf("second window %v, first %v", second.Duration, first.Duration)
+	}
+	if second.MaxMA != 570 {
+		t.Errorf("second window max %v", second.MaxMA)
+	}
+}

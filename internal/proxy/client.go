@@ -1,0 +1,214 @@
+package proxy
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// Client is the handheld side: it fetches files from the proxy and
+// decompresses arriving blocks in a pipeline concurrent with reception
+// (the user-level interleaving of Section 4.1).
+type Client struct {
+	addr string
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+}
+
+// NewClient returns a client for the proxy at addr.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, DialTimeout: 10 * time.Second}
+}
+
+// FetchStats reports what crossed the wire.
+type FetchStats struct {
+	RawBytes         int
+	WireBytes        int // block payloads + framing
+	BlocksTotal      int
+	BlocksCompressed int
+	Factor           float64
+	// DecompressWall is the wall time the decompression goroutine spent
+	// busy (host-machine time; energy accounting uses the simulator, not
+	// this number).
+	DecompressWall time.Duration
+}
+
+// List fetches the server's file catalogue.
+func (c *Client) List() ([]string, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := writeRequest(conn, request{Op: opList}); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if hdr[0] != statusOK {
+		return nil, fmt.Errorf("%w: status %d", ErrProtocol, hdr[0])
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: %d names", ErrProtocol, n)
+	}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var n16 [2]byte
+		if _, err := io.ReadFull(br, n16[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		nameLen := int(binary.BigEndian.Uint16(n16[:]))
+		if nameLen > maxNameLen {
+			return nil, fmt.Errorf("%w: name length %d", ErrProtocol, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		names = append(names, string(name))
+	}
+	return names, nil
+}
+
+// decoded is one block's decompression outcome, in order.
+type decoded struct {
+	data []byte
+	err  error
+}
+
+// Fetch downloads name with the given scheme and mode, returning the
+// verified content and transfer statistics. Reception and decompression
+// run in separate goroutines: block i decompresses while block i+1 is on
+// the wire.
+func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, FetchStats, error) {
+	var stats FetchStats
+	conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	if err != nil {
+		return nil, stats, err
+	}
+	defer conn.Close()
+
+	if err := writeRequest(conn, request{Op: opGet, Name: name, Scheme: scheme, Mode: mode}); err != nil {
+		return nil, stats, err
+	}
+	br := bufio.NewReaderSize(conn, 64*1024)
+	hdr, err := readGetHeader(br)
+	if err != nil {
+		return nil, stats, err
+	}
+	switch hdr.Status {
+	case statusOK:
+	case statusNotFound:
+		return nil, stats, fmt.Errorf("%w: %q", ErrNotFound, name)
+	default:
+		return nil, stats, fmt.Errorf("%w: status %d", ErrProtocol, hdr.Status)
+	}
+
+	dec, err := codec.New(hdr.Scheme, 0)
+	if err != nil {
+		return nil, stats, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+
+	// Pipeline: the receive loop (this goroutine, standing in for the
+	// kernel interrupt handler) hands blocks to the decompressor
+	// goroutine. Channel capacity 1: the decompressor works on block i
+	// while block i+1 is being received.
+	blocksCh := make(chan wireBlock, 1)
+	resultCh := make(chan decoded, 1)
+	done := make(chan struct{})
+	var out []byte
+	var decompWall time.Duration
+
+	go func() {
+		defer close(done)
+		for b := range blocksCh {
+			start := time.Now()
+			var d decoded
+			if b.Flag == blockFlagCompressed {
+				raw, err := dec.Decompress(b.Payload, int(b.RawLen))
+				if err == nil && len(raw) != int(b.RawLen) {
+					err = fmt.Errorf("%w: block raw length %d, header %d", ErrProtocol, len(raw), b.RawLen)
+				}
+				d = decoded{data: raw, err: err}
+			} else {
+				d = decoded{data: b.Payload}
+			}
+			decompWall += time.Since(start)
+			resultCh <- d
+		}
+		close(resultCh)
+	}()
+
+	var wantCRC uint32
+	var recvErr error
+	pending := 0
+	out = make([]byte, 0, int(hdr.RawSize))
+
+	drainOne := func() error {
+		d := <-resultCh
+		pending--
+		if d.err != nil {
+			return d.err
+		}
+		out = append(out, d.data...)
+		return nil
+	}
+
+recvLoop:
+	for {
+		b, crc, ok, err := readBlock(br)
+		if err != nil {
+			recvErr = err
+			break
+		}
+		if !ok {
+			wantCRC = crc
+			break recvLoop
+		}
+		stats.BlocksTotal++
+		stats.WireBytes += 9 + len(b.Payload)
+		if b.Flag == blockFlagCompressed {
+			stats.BlocksCompressed++
+		}
+		// Keep at most one result outstanding so memory stays bounded.
+		for pending > 1 {
+			if err := drainOne(); err != nil {
+				recvErr = err
+				break recvLoop
+			}
+		}
+		blocksCh <- b
+		pending++
+	}
+	close(blocksCh)
+	for pending > 0 {
+		if err := drainOne(); err != nil && recvErr == nil {
+			recvErr = err
+		}
+	}
+	<-done
+	stats.DecompressWall = decompWall
+
+	if recvErr != nil {
+		return nil, stats, recvErr
+	}
+	if uint64(len(out)) != hdr.RawSize {
+		return nil, stats, fmt.Errorf("%w: got %d bytes, header says %d", ErrProtocol, len(out), hdr.RawSize)
+	}
+	if crcOf(out) != wantCRC {
+		return nil, stats, fmt.Errorf("%w: content CRC mismatch", ErrProtocol)
+	}
+	stats.RawBytes = len(out)
+	stats.WireBytes += 10 + 9 // response header + end frame
+	stats.Factor = codec.Factor(stats.RawBytes, stats.WireBytes)
+	return out, stats, nil
+}

@@ -1,0 +1,220 @@
+// Package proxy implements the paper's experimental dataplane as a real
+// networked system: a proxy server that stores files and serves them raw,
+// precompressed, compressed on demand, or selectively compressed
+// block-by-block; and a handheld-side client that downloads over TCP and
+// decompresses each block in a pipeline concurrent with reception — the
+// user-level interleaving of Section 4.1, with the receive path and the
+// decompression path in separate goroutines.
+//
+// The energy numbers of the reproduction come from the simulation stack
+// (internal/pipeline); this package exists so the protocol, the framing and
+// the interleaving are exercised for real over sockets, as in the paper's
+// testbed.
+package proxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/checksum"
+	"repro/internal/codec"
+)
+
+// Protocol constants.
+const (
+	protoMagic = "PXY1"
+
+	opList = 0x01
+	opGet  = 0x02
+
+	statusOK       = 0x00
+	statusNotFound = 0x01
+	statusBadReq   = 0x02
+
+	blockFlagRaw        = 0x00
+	blockFlagCompressed = 0x01
+	blockFlagEnd        = 0xFF
+
+	// maxNameLen bounds file names on the wire.
+	maxNameLen = 4096
+	// maxBlockWire bounds a single block payload (a compressed 0.128 MB
+	// block can only be marginally larger than raw).
+	maxBlockWire = 1 << 21
+)
+
+// Mode is the transfer mode requested by the client.
+type Mode byte
+
+// Transfer modes.
+const (
+	// ModeRaw transfers the file uncompressed.
+	ModeRaw Mode = iota + 1
+	// ModePrecompressed serves blocks compressed ahead of time on the
+	// proxy (Section 3: "all downloaded files are compressed a priori").
+	ModePrecompressed
+	// ModeOnDemand compresses blocks while the transfer is in flight
+	// (Section 5).
+	ModeOnDemand
+	// ModeSelective applies the block-by-block adaptive scheme of
+	// Section 4.3 (on demand).
+	ModeSelective
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeRaw:
+		return "raw"
+	case ModePrecompressed:
+		return "precompressed"
+	case ModeOnDemand:
+		return "on-demand"
+	case ModeSelective:
+		return "selective"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrProtocol is returned for malformed frames.
+var ErrProtocol = errors.New("proxy: protocol error")
+
+// ErrNotFound is returned when the server does not have the file.
+var ErrNotFound = errors.New("proxy: file not found")
+
+// request is the client->server GET message.
+type request struct {
+	Op     byte
+	Name   string
+	Scheme codec.Scheme
+	Mode   Mode
+}
+
+func writeRequest(w io.Writer, req request) error {
+	name := []byte(req.Name)
+	if len(name) > maxNameLen {
+		return fmt.Errorf("%w: name too long", ErrProtocol)
+	}
+	buf := make([]byte, 0, len(protoMagic)+1+2+len(name)+2)
+	buf = append(buf, protoMagic...)
+	buf = append(buf, req.Op)
+	var n16 [2]byte
+	binary.BigEndian.PutUint16(n16[:], uint16(len(name)))
+	buf = append(buf, n16[:]...)
+	buf = append(buf, name...)
+	buf = append(buf, byte(req.Scheme), byte(req.Mode))
+	_, err := w.Write(buf)
+	return err
+}
+
+func readRequest(r io.Reader) (request, error) {
+	hdr := make([]byte, len(protoMagic)+1+2)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return request{}, err
+	}
+	if string(hdr[:len(protoMagic)]) != protoMagic {
+		return request{}, fmt.Errorf("%w: bad magic", ErrProtocol)
+	}
+	req := request{Op: hdr[len(protoMagic)]}
+	nameLen := int(binary.BigEndian.Uint16(hdr[len(protoMagic)+1:]))
+	if nameLen > maxNameLen {
+		return request{}, fmt.Errorf("%w: name length %d", ErrProtocol, nameLen)
+	}
+	rest := make([]byte, nameLen+2)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return request{}, fmt.Errorf("%w: truncated request: %v", ErrProtocol, err)
+	}
+	req.Name = string(rest[:nameLen])
+	req.Scheme = codec.Scheme(rest[nameLen])
+	req.Mode = Mode(rest[nameLen+1])
+	return req, nil
+}
+
+// getHeader is the server->client GET response header.
+type getHeader struct {
+	Status  byte
+	RawSize uint64
+	Scheme  codec.Scheme
+}
+
+func writeGetHeader(w io.Writer, h getHeader) error {
+	var buf [10]byte
+	buf[0] = h.Status
+	binary.BigEndian.PutUint64(buf[1:9], h.RawSize)
+	buf[9] = byte(h.Scheme)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readGetHeader(r io.Reader) (getHeader, error) {
+	var buf [10]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return getHeader{}, fmt.Errorf("%w: truncated header: %v", ErrProtocol, err)
+	}
+	return getHeader{
+		Status:  buf[0],
+		RawSize: binary.BigEndian.Uint64(buf[1:9]),
+		Scheme:  codec.Scheme(buf[9]),
+	}, nil
+}
+
+// wireBlock is one framed block on the wire.
+type wireBlock struct {
+	Flag    byte
+	RawLen  uint32
+	Payload []byte
+}
+
+func writeBlock(w io.Writer, b wireBlock) error {
+	var hdr [9]byte
+	hdr[0] = b.Flag
+	binary.BigEndian.PutUint32(hdr[1:5], b.RawLen)
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(b.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(b.Payload) > 0 {
+		if _, err := w.Write(b.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeEnd(w io.Writer, crc uint32) error {
+	var hdr [9]byte
+	hdr[0] = blockFlagEnd
+	binary.BigEndian.PutUint32(hdr[1:5], crc)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// readBlock returns the next block, or ok=false with the trailing CRC when
+// the end marker is reached.
+func readBlock(r io.Reader) (b wireBlock, crc uint32, ok bool, err error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return wireBlock{}, 0, false, fmt.Errorf("%w: truncated block: %v", ErrProtocol, err)
+	}
+	if hdr[0] == blockFlagEnd {
+		return wireBlock{}, binary.BigEndian.Uint32(hdr[1:5]), false, nil
+	}
+	if hdr[0] != blockFlagRaw && hdr[0] != blockFlagCompressed {
+		return wireBlock{}, 0, false, fmt.Errorf("%w: flag %#x", ErrProtocol, hdr[0])
+	}
+	b.Flag = hdr[0]
+	b.RawLen = binary.BigEndian.Uint32(hdr[1:5])
+	payLen := binary.BigEndian.Uint32(hdr[5:9])
+	if payLen > maxBlockWire {
+		return wireBlock{}, 0, false, fmt.Errorf("%w: block of %d bytes", ErrProtocol, payLen)
+	}
+	b.Payload = make([]byte, payLen)
+	if _, err := io.ReadFull(r, b.Payload); err != nil {
+		return wireBlock{}, 0, false, fmt.Errorf("%w: truncated payload: %v", ErrProtocol, err)
+	}
+	return b, 0, true, nil
+}
+
+// crcOf is a helper around the repository's own CRC-32.
+func crcOf(data []byte) uint32 { return checksum.CRC32(data) }

@@ -1,0 +1,258 @@
+package proxy
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/selective"
+)
+
+// Server is the proxy: a stationary machine that stores files and serves
+// them to handheld clients over TCP, optionally compressing them ahead of
+// time or on demand.
+type Server struct {
+	decider selective.Decider
+
+	mu    sync.Mutex
+	files map[string][]byte
+	// precomp caches per-(file, scheme) precompressed block streams.
+	precomp map[string]map[codec.Scheme][]selective.Block
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewServer returns a server using the given decision model for selective
+// mode (nil selects the paper's Equation 6).
+func NewServer(decider selective.Decider) *Server {
+	if decider == nil {
+		decider = selective.PaperDecider{}
+	}
+	return &Server{
+		decider: decider,
+		files:   make(map[string][]byte),
+		precomp: make(map[string]map[codec.Scheme][]selective.Block),
+		closed:  make(chan struct{}),
+	}
+}
+
+// Register stores a file under name. Content is copied.
+func (s *Server) Register(name string, content []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[name] = append([]byte{}, content...)
+	delete(s.precomp, name)
+}
+
+// Files lists registered file names, sorted.
+func (s *Server) Files() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.files))
+	for n := range s.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Precompress compresses name's blocks with scheme ahead of time, as the
+// Section 3 experiments assume ("compressed a priori and stored on the
+// proxy server").
+func (s *Server) Precompress(name string, scheme codec.Scheme) error {
+	s.mu.Lock()
+	content, ok := s.files[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	blocks, err := s.compressBlocks(content, scheme, selective.AlwaysCompress{})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.precomp[name] == nil {
+		s.precomp[name] = make(map[codec.Scheme][]selective.Block)
+	}
+	s.precomp[name][scheme] = blocks
+	return nil
+}
+
+func (s *Server) compressBlocks(content []byte, scheme codec.Scheme, d selective.Decider) ([]selective.Block, error) {
+	c, err := codec.New(scheme, 0)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := selective.Encode(content, c, d)
+	if err != nil {
+		return nil, err
+	}
+	return enc.Blocks, nil
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serve loops run until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			// One request per connection, as the paper's one-shot
+			// downloads do.
+			_ = s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections. It is
+// safe to call more than once.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.ln != nil {
+			err = s.ln.Close()
+		}
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriterSize(conn, 64*1024)
+	defer bw.Flush()
+
+	req, err := readRequest(br)
+	if err != nil {
+		return err
+	}
+	switch req.Op {
+	case opList:
+		return s.handleList(bw)
+	case opGet:
+		return s.handleGet(bw, req)
+	default:
+		return writeGetHeader(bw, getHeader{Status: statusBadReq})
+	}
+}
+
+func (s *Server) handleList(bw *bufio.Writer) error {
+	names := s.Files()
+	var hdr [5]byte
+	hdr[0] = statusOK
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(names)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, n := range names {
+		var n16 [2]byte
+		binary.BigEndian.PutUint16(n16[:], uint16(len(n)))
+		if _, err := bw.Write(n16[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write([]byte(n)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (s *Server) handleGet(bw *bufio.Writer, req request) error {
+	s.mu.Lock()
+	content, ok := s.files[req.Name]
+	s.mu.Unlock()
+	if !ok {
+		return writeGetHeader(bw, getHeader{Status: statusNotFound})
+	}
+	if err := writeGetHeader(bw, getHeader{
+		Status:  statusOK,
+		RawSize: uint64(len(content)),
+		Scheme:  req.Scheme,
+	}); err != nil {
+		return err
+	}
+
+	blocks, err := s.blocksFor(req, content)
+	if err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		flag := byte(blockFlagRaw)
+		if b.Compressed {
+			flag = blockFlagCompressed
+		}
+		wb := wireBlock{Flag: flag, RawLen: uint32(b.RawLen), Payload: b.Payload}
+		if err := writeBlock(bw, wb); err != nil {
+			return err
+		}
+		// Flush per block so the client's pipeline can overlap
+		// decompression with the next block's arrival.
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	if err := writeEnd(bw, crcOf(content)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// blocksFor materialises the block stream for a request; ModeOnDemand and
+// ModeSelective compress here, on the serving path.
+func (s *Server) blocksFor(req request, content []byte) ([]selective.Block, error) {
+	switch req.Mode {
+	case ModeRaw:
+		return s.compressBlocks(content, codec.Gzip, selective.NeverCompress{})
+	case ModePrecompressed:
+		s.mu.Lock()
+		blocks := s.precomp[req.Name][req.Scheme]
+		s.mu.Unlock()
+		if blocks != nil {
+			return blocks, nil
+		}
+		// Not cached: compress now and cache for the next request.
+		if err := s.Precompress(req.Name, req.Scheme); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.precomp[req.Name][req.Scheme], nil
+	case ModeOnDemand:
+		return s.compressBlocks(content, req.Scheme, selective.AlwaysCompress{})
+	case ModeSelective:
+		return s.compressBlocks(content, req.Scheme, s.decider)
+	default:
+		return nil, fmt.Errorf("%w: mode %d", ErrProtocol, int(req.Mode))
+	}
+}

@@ -1,0 +1,308 @@
+// Package selective implements the paper's block-by-block adaptive
+// compression scheme (Section 4.3, Figure 10): data is processed in
+// compression-buffer-sized blocks; a block is stored raw if it is below the
+// threshold size or if compressing it fails the Equation 6 energy test, and
+// compressed otherwise. Files below the file threshold (3900 bytes) are
+// never compressed. With this scheme "the compression tool no longer incurs
+// higher energy cost than no compression for any file".
+package selective
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/energy"
+)
+
+// BlockSize is the compression buffer of the paper's modified zlib
+// (0.128 MB).
+const BlockSize = 128 * 1000
+
+// Container framing.
+const (
+	magic0, magic1, magic2, magic3 = 'S', 'E', 'L', '1'
+
+	flagRaw        = 0x00
+	flagCompressed = 0x01
+	flagEnd        = 0xFF
+
+	headerLen      = 5 // magic + scheme byte
+	blockHeaderLen = 9 // flag + rawLen + payloadLen
+)
+
+// ErrCorrupt is returned for malformed containers.
+var ErrCorrupt = errors.New("selective: corrupt container")
+
+// Decider is the compression decision test. ShouldCompress is consulted
+// with a block's raw and compressed sizes; MinSizeBytes is the threshold
+// below which blocks (and whole files) are sent raw without even trying.
+type Decider interface {
+	ShouldCompress(rawBytes, compBytes int) bool
+	MinSizeBytes() int
+}
+
+// ModelDecider drives decisions from the analytic energy model.
+type ModelDecider struct {
+	Params energy.Params
+}
+
+var _ Decider = ModelDecider{}
+
+// ShouldCompress applies Equation 6 via the model.
+func (d ModelDecider) ShouldCompress(rawBytes, compBytes int) bool {
+	return d.Params.ShouldCompress(float64(rawBytes)/1e6, float64(compBytes)/1e6)
+}
+
+// MinSizeBytes returns the model's file-size threshold (≈3900 bytes).
+func (d ModelDecider) MinSizeBytes() int {
+	return int(d.Params.ThresholdSizeBytes())
+}
+
+// PaperDecider applies the paper's literal Equation 6 constants.
+type PaperDecider struct{}
+
+var _ Decider = PaperDecider{}
+
+// ShouldCompress applies the published Equation 6.
+func (PaperDecider) ShouldCompress(rawBytes, compBytes int) bool {
+	return energy.PaperShouldCompress(rawBytes, compBytes)
+}
+
+// MinSizeBytes returns the paper's 3900-byte threshold.
+func (PaperDecider) MinSizeBytes() int { return energy.PaperFileThresholdBytes }
+
+// AlwaysCompress compresses every block (the non-adaptive baseline).
+type AlwaysCompress struct{}
+
+var _ Decider = AlwaysCompress{}
+
+// ShouldCompress always returns true.
+func (AlwaysCompress) ShouldCompress(int, int) bool { return true }
+
+// MinSizeBytes returns zero.
+func (AlwaysCompress) MinSizeBytes() int { return 0 }
+
+// NeverCompress sends every block raw (the uncompressed baseline wrapped
+// in the same framing).
+type NeverCompress struct{}
+
+var _ Decider = NeverCompress{}
+
+// ShouldCompress always returns false.
+func (NeverCompress) ShouldCompress(int, int) bool { return false }
+
+// MinSizeBytes returns the largest int so even huge blocks skip the
+// compression attempt.
+func (NeverCompress) MinSizeBytes() int { return int(^uint(0) >> 1) }
+
+// Block is one framed block of an encoded stream.
+type Block struct {
+	Compressed bool
+	RawLen     int
+	Payload    []byte
+}
+
+// WireLen is the block's on-the-wire size including framing.
+func (b Block) WireLen() int { return blockHeaderLen + len(b.Payload) }
+
+// Encoded is the result of selectively compressing a buffer.
+type Encoded struct {
+	Scheme codec.Scheme
+	Blocks []Block
+}
+
+// Stats summarises an encoded stream.
+type Stats struct {
+	RawBytes         int
+	WireBytes        int
+	BlocksTotal      int
+	BlocksCompressed int
+	Factor           float64
+}
+
+// Stats computes summary statistics.
+func (e *Encoded) Stats() Stats {
+	s := Stats{BlocksTotal: len(e.Blocks)}
+	for _, b := range e.Blocks {
+		s.RawBytes += b.RawLen
+		s.WireBytes += b.WireLen()
+		if b.Compressed {
+			s.BlocksCompressed++
+		}
+	}
+	s.WireBytes += headerLen + 1 // container header + end marker
+	s.Factor = codec.Factor(s.RawBytes, s.WireBytes)
+	return s
+}
+
+// Bytes serialises the container.
+func (e *Encoded) Bytes() []byte {
+	st := e.Stats()
+	out := make([]byte, 0, st.WireBytes)
+	out = append(out, magic0, magic1, magic2, magic3, byte(e.Scheme))
+	var hdr [blockHeaderLen]byte
+	for _, b := range e.Blocks {
+		if b.Compressed {
+			hdr[0] = flagCompressed
+		} else {
+			hdr[0] = flagRaw
+		}
+		binary.BigEndian.PutUint32(hdr[1:5], uint32(b.RawLen))
+		binary.BigEndian.PutUint32(hdr[5:9], uint32(len(b.Payload)))
+		out = append(out, hdr[:]...)
+		out = append(out, b.Payload...)
+	}
+	return append(out, flagEnd)
+}
+
+// Encode selectively compresses data with the codec per Figure 10 using
+// the paper's 0.128 MB blocks. Note "send the raw data" in the figure
+// means writing the raw block into the (pre)compressed stream.
+func Encode(data []byte, c codec.Codec, d Decider) (*Encoded, error) {
+	return EncodeBlocks(data, c, d, BlockSize)
+}
+
+// EncodeBlocks is Encode with an explicit block size, used by the
+// block-size ablation study.
+func EncodeBlocks(data []byte, c codec.Codec, d Decider, blockSize int) (*Encoded, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("selective: block size %d", blockSize)
+	}
+	e := &Encoded{Scheme: c.Scheme()}
+	minSize := d.MinSizeBytes()
+	// Whole-file rule: below the threshold size the file is not to be
+	// compressed before transferring.
+	wholeFileRaw := len(data) < minSize
+
+	for off := 0; off < len(data) || (off == 0 && len(data) == 0); off += blockSize {
+		if len(data) == 0 {
+			break
+		}
+		end := off + blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		raw := data[off:end]
+		blk := Block{RawLen: len(raw), Payload: raw}
+		if !wholeFileRaw && len(raw) >= minSize {
+			comp, err := c.Compress(raw)
+			if err != nil {
+				return nil, fmt.Errorf("selective: compress block at %d: %w", off, err)
+			}
+			if d.ShouldCompress(len(raw), len(comp)) {
+				blk.Compressed = true
+				blk.Payload = comp
+			}
+		}
+		e.Blocks = append(e.Blocks, blk)
+	}
+	return e, nil
+}
+
+// Decode parses and decompresses a container produced by Encode. maxSize,
+// if positive, bounds the decoded size.
+func Decode(stream []byte, maxSize int) ([]byte, error) {
+	blocks, scheme, err := Parse(stream)
+	if err != nil {
+		return nil, err
+	}
+	c, err := codec.New(scheme, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	out := []byte{}
+	for i, b := range blocks {
+		if maxSize > 0 && len(out)+b.RawLen > maxSize {
+			return nil, fmt.Errorf("%w: output exceeds limit %d", ErrCorrupt, maxSize)
+		}
+		if !b.Compressed {
+			out = append(out, b.Payload...)
+			continue
+		}
+		raw, err := c.Decompress(b.Payload, b.RawLen)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrCorrupt, i, err)
+		}
+		if len(raw) != b.RawLen {
+			return nil, fmt.Errorf("%w: block %d length %d, header says %d", ErrCorrupt, i, len(raw), b.RawLen)
+		}
+		out = append(out, raw...)
+	}
+	return out, nil
+}
+
+// Parse splits a container into blocks without decompressing.
+func Parse(stream []byte) ([]Block, codec.Scheme, error) {
+	if len(stream) < headerLen+1 {
+		return nil, 0, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	if stream[0] != magic0 || stream[1] != magic1 || stream[2] != magic2 || stream[3] != magic3 {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	scheme := codec.Scheme(stream[4])
+	pos := headerLen
+	var blocks []Block
+	for {
+		if pos >= len(stream) {
+			return nil, 0, fmt.Errorf("%w: missing end marker", ErrCorrupt)
+		}
+		flag := stream[pos]
+		if flag == flagEnd {
+			return blocks, scheme, nil
+		}
+		if flag != flagRaw && flag != flagCompressed {
+			return nil, 0, fmt.Errorf("%w: flag %#x at %d", ErrCorrupt, flag, pos)
+		}
+		if pos+blockHeaderLen > len(stream) {
+			return nil, 0, fmt.Errorf("%w: truncated block header", ErrCorrupt)
+		}
+		rawLen := int(binary.BigEndian.Uint32(stream[pos+1 : pos+5]))
+		payLen := int(binary.BigEndian.Uint32(stream[pos+5 : pos+9]))
+		pos += blockHeaderLen
+		if payLen < 0 || pos+payLen > len(stream) {
+			return nil, 0, fmt.Errorf("%w: truncated payload", ErrCorrupt)
+		}
+		if rawLen > 16*BlockSize {
+			return nil, 0, fmt.Errorf("%w: implausible block size %d", ErrCorrupt, rawLen)
+		}
+		b := Block{Compressed: flag == flagCompressed, RawLen: rawLen, Payload: stream[pos : pos+payLen]}
+		if !b.Compressed && payLen != rawLen {
+			return nil, 0, fmt.Errorf("%w: raw block length mismatch", ErrCorrupt)
+		}
+		blocks = append(blocks, b)
+		pos += payLen
+	}
+}
+
+// UploadDecider drives per-block decisions for the upload direction, where
+// the cost side is the handheld's compression time rather than
+// decompression: compress iff the predicted compressed-upload energy
+// (Equations 1-4 mirrored, with tc from the handheld cost model) beats the
+// raw upload.
+type UploadDecider struct {
+	Params energy.Params
+	// PerInMB / PerOutMB are the handheld compression cost coefficients
+	// (seconds per MB of input / output); PerStream is the fixed setup.
+	PerInMB, PerOutMB, PerStream float64
+}
+
+var _ Decider = UploadDecider{}
+
+// ShouldCompress applies the upload energy comparison to one block.
+func (d UploadDecider) ShouldCompress(rawBytes, compBytes int) bool {
+	s := float64(rawBytes) / 1e6
+	sc := float64(compBytes) / 1e6
+	tc := d.PerInMB*s + d.PerOutMB*sc + d.PerStream
+	return d.Params.ShouldCompressUpload(s, sc, tc)
+}
+
+// MinSizeBytes returns the upload file-size threshold for this cost model.
+func (d UploadDecider) MinSizeBytes() int {
+	v := d.Params.UploadThresholdSizeBytes(d.PerInMB, d.PerStream)
+	if v > 1e12 {
+		return 1 << 40
+	}
+	return int(v)
+}

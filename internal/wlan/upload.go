@@ -1,0 +1,58 @@
+package wlan
+
+import (
+	"time"
+
+	"repro/internal/device"
+)
+
+// Upload schedules the transmission of n bytes starting now — the upload
+// direction the paper's introduction raises ("lively captured voice and
+// pictures") and leaves to future work. It mirrors Download with the radio
+// in send states; per packet, an active slice at the send-side composite
+// current is followed by a CPU-idle gap granted to gaps (where compression
+// of the next block can run). onDone fires after the final gap.
+func (l *Link) Upload(n int, gaps GapConsumer, onDone func()) {
+	if n <= 0 {
+		l.kernel.Schedule(0, func() {
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return
+	}
+	l.dev.SetRadio(device.RadioIdle)
+	l.kernel.Schedule(SetupTime, func() { l.uploadPacket(0, n, gaps, onDone) })
+}
+
+func (l *Link) uploadPacket(sent, total int, gaps GapConsumer, onDone func()) {
+	remaining := total - sent
+	chunk := PacketBytes
+	if chunk > remaining {
+		chunk = remaining
+	}
+	interval := time.Duration(float64(chunk) / 1e6 / l.EffectiveMBps() * float64(time.Second))
+	active := time.Duration(float64(interval) * (1 - l.rate.IdleFrac))
+	gap := interval - active
+
+	l.dev.SetRadio(device.RadioSend)
+	l.dev.SetNICSending(true)
+	l.kernel.Schedule(active, func() {
+		l.dev.SetNICSending(false)
+		l.dev.SetRadio(l.rate.GapRadio)
+		newTotal := sent + chunk
+		if gaps != nil {
+			gaps.Window(gap)
+		}
+		l.kernel.Schedule(gap, func() {
+			if newTotal >= total {
+				l.dev.SetRadio(device.RadioIdle)
+				if onDone != nil {
+					onDone()
+				}
+				return
+			}
+			l.uploadPacket(newTotal, total, gaps, onDone)
+		})
+	})
+}

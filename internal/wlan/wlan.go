@@ -1,0 +1,245 @@
+// Package wlan models the paper's Lucent WaveLAN (Orinoco) IEEE 802.11b
+// link at packet granularity: nominal bit rates with their measured
+// effective data rates and CPU-idle fractions, the power-saving mode's 25%
+// throughput penalty, and per-packet active/idle alternation that creates
+// the idle windows interleaved decompression reclaims.
+package wlan
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// PacketBytes is the modeled per-packet payload (Ethernet-class MTU minus
+// headers, as on the paper's TCP downloads).
+const PacketBytes = 1460
+
+// PowerSavePenalty is the effective-rate reduction in power-saving mode:
+// "the effective data rate decreases by about 25% in the power-saving
+// mode, due to the overhead to switch between the states".
+const PowerSavePenalty = 0.25
+
+// SetupTime is the connection start-up interval; at the idle-state current
+// it charges the paper's fitted cs = 0.012 J
+// (0.012 J / (5 V * 0.310 A) = 7.742 ms).
+const SetupTime = 7742 * time.Microsecond
+
+// RateConfig describes one nominal 802.11b rate as the paper measured it.
+type RateConfig struct {
+	Name          string
+	NominalMbps   float64
+	EffectiveMBps float64 // end-to-end data rate including idle gaps
+	IdleFrac      float64 // CPU-idle fraction of total downloading time
+	// GapRadio is the radio state during CPU-idle gaps: at 11 Mb/s packets
+	// arrive in bursts and the radio idles between them; at 2 Mb/s the
+	// radio stays in receive essentially the whole time and only the CPU
+	// idles.
+	GapRadio device.RadioState
+}
+
+// Rate11Mbps is the paper's primary setting: ~0.6 MB/s effective
+// (602 KB/s measured), 40% CPU-idle time.
+func Rate11Mbps() RateConfig {
+	return RateConfig{
+		Name:          "11Mb/s",
+		NominalMbps:   11,
+		EffectiveMBps: 0.6,
+		IdleFrac:      0.40,
+		GapRadio:      device.RadioIdle,
+	}
+}
+
+// Rate2Mbps is the validation setting of Section 4.2: 180 KB/s effective,
+// 81.5% CPU-idle time.
+func Rate2Mbps() RateConfig {
+	return RateConfig{
+		Name:          "2Mb/s",
+		NominalMbps:   2,
+		EffectiveMBps: 0.18,
+		IdleFrac:      0.815,
+		GapRadio:      device.RadioRecv,
+	}
+}
+
+// Rate5_5Mbps interpolates the intermediate 802.11b rate (not measured by
+// the paper; used by the bit-rate sweep example).
+func Rate5_5Mbps() RateConfig {
+	return RateConfig{
+		Name:          "5.5Mb/s",
+		NominalMbps:   5.5,
+		EffectiveMBps: 0.40,
+		IdleFrac:      0.55,
+		GapRadio:      device.RadioIdle,
+	}
+}
+
+// Rate1Mbps extrapolates the lowest 802.11b rate (not measured by the
+// paper; used by the bit-rate sweep example).
+func Rate1Mbps() RateConfig {
+	return RateConfig{
+		Name:          "1Mb/s",
+		NominalMbps:   1,
+		EffectiveMBps: 0.10,
+		IdleFrac:      0.87,
+		GapRadio:      device.RadioRecv,
+	}
+}
+
+// Rates returns the configured rate points, fastest first.
+func Rates() []RateConfig {
+	return []RateConfig{Rate11Mbps(), Rate5_5Mbps(), Rate2Mbps(), Rate1Mbps()}
+}
+
+// GapConsumer receives the CPU-idle windows between packet arrivals;
+// device.Worker implements it to run decompression inside them.
+type GapConsumer interface {
+	Window(d time.Duration)
+}
+
+// Link simulates downloads onto a device.
+type Link struct {
+	kernel *sim.Kernel
+	dev    *device.Device
+	rate   RateConfig
+}
+
+// NewLink returns a link for the device at the given rate.
+func NewLink(k *sim.Kernel, dev *device.Device, rate RateConfig) (*Link, error) {
+	if rate.EffectiveMBps <= 0 || rate.IdleFrac < 0 || rate.IdleFrac >= 1 {
+		return nil, fmt.Errorf("wlan: invalid rate config %+v", rate)
+	}
+	return &Link{kernel: k, dev: dev, rate: rate}, nil
+}
+
+// Rate returns the link's rate configuration.
+func (l *Link) Rate() RateConfig { return l.rate }
+
+// EffectiveMBps returns the current effective data rate, accounting for
+// the power-saving penalty.
+func (l *Link) EffectiveMBps() float64 {
+	r := l.rate.EffectiveMBps
+	if l.dev.PowerSave() {
+		r *= 1 - PowerSavePenalty
+	}
+	return r
+}
+
+// DownloadTime returns the modeled wall time to download n bytes,
+// excluding connection setup.
+func (l *Link) DownloadTime(n int) time.Duration {
+	return time.Duration(float64(n) / 1e6 / l.EffectiveMBps() * float64(time.Second))
+}
+
+// Download schedules the reception of n bytes starting now.
+//
+// Per packet: an active slice (radio recv + CPU servicing the NIC at the
+// calibrated composite current) followed by a CPU-idle gap in the rate's
+// gap radio state. onDelivered, if non-nil, runs at the end of each active
+// slice with the cumulative byte count — block assembly and decompression
+// scheduling hang off it. gaps, if non-nil, is granted each idle window.
+// onDone runs when the last byte has been delivered (gaps included).
+func (l *Link) Download(n int, onDelivered func(total int), gaps GapConsumer, onDone func()) {
+	if n <= 0 {
+		l.kernel.Schedule(0, func() {
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return
+	}
+	// Connection setup: radio idle at the base state, charging ~cs.
+	l.dev.SetRadio(device.RadioIdle)
+	l.kernel.Schedule(SetupTime, func() { l.packet(0, n, onDelivered, gaps, onDone) })
+}
+
+// Transfer is Download without the connection setup charge, for chaining
+// block transfers over an established connection (compression on demand).
+// Unlike Download, the final packet's idle gap is kept (granted to gaps),
+// since the stream continues with the next block.
+func (l *Link) Transfer(n int, onDelivered func(total int), gaps GapConsumer, onDone func()) {
+	if n <= 0 {
+		l.kernel.Schedule(0, func() {
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return
+	}
+	l.packetKeepGap(0, n, onDelivered, gaps, onDone)
+}
+
+// packetKeepGap is the packet loop variant that schedules onDone after the
+// final inter-packet gap rather than eliding it.
+func (l *Link) packetKeepGap(delivered, total int, onDelivered func(int), gaps GapConsumer, onDone func()) {
+	remaining := total - delivered
+	chunk := PacketBytes
+	if chunk > remaining {
+		chunk = remaining
+	}
+	interval := time.Duration(float64(chunk) / 1e6 / l.EffectiveMBps() * float64(time.Second))
+	active := time.Duration(float64(interval) * (1 - l.rate.IdleFrac))
+	gap := interval - active
+
+	l.dev.SetRadio(device.RadioRecv)
+	l.dev.SetNICActive(true)
+	l.kernel.Schedule(active, func() {
+		l.dev.SetNICActive(false)
+		l.dev.SetRadio(l.rate.GapRadio)
+		newTotal := delivered + chunk
+		if onDelivered != nil {
+			onDelivered(newTotal)
+		}
+		if gaps != nil {
+			gaps.Window(gap)
+		}
+		l.kernel.Schedule(gap, func() {
+			if newTotal >= total {
+				l.dev.SetRadio(device.RadioIdle)
+				if onDone != nil {
+					onDone()
+				}
+				return
+			}
+			l.packetKeepGap(newTotal, total, onDelivered, gaps, onDone)
+		})
+	})
+}
+
+func (l *Link) packet(delivered, total int, onDelivered func(int), gaps GapConsumer, onDone func()) {
+	remaining := total - delivered
+	chunk := PacketBytes
+	if chunk > remaining {
+		chunk = remaining
+	}
+	interval := time.Duration(float64(chunk) / 1e6 / l.EffectiveMBps() * float64(time.Second))
+	active := time.Duration(float64(interval) * (1 - l.rate.IdleFrac))
+	gap := interval - active
+
+	l.dev.SetRadio(device.RadioRecv)
+	l.dev.SetNICActive(true)
+	l.kernel.Schedule(active, func() {
+		l.dev.SetNICActive(false)
+		l.dev.SetRadio(l.rate.GapRadio)
+		newTotal := delivered + chunk
+		if onDelivered != nil {
+			onDelivered(newTotal)
+		}
+		if newTotal >= total {
+			// Final gap is not part of the transfer; finish now.
+			l.dev.SetRadio(device.RadioIdle)
+			if onDone != nil {
+				onDone()
+			}
+			return
+		}
+		if gaps != nil {
+			gaps.Window(gap)
+		}
+		l.kernel.Schedule(gap, func() {
+			l.packet(newTotal, total, onDelivered, gaps, onDone)
+		})
+	})
+}

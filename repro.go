@@ -1,0 +1,230 @@
+// Package repro is a complete reproduction of "Impact of Data Compression
+// on Energy Consumption of Wireless-Networked Handheld Devices" (Xu, Li,
+// Wang, Ni — Purdue CSD-TR-03-003 / ICDCS 2003).
+//
+// It bundles, behind one public API:
+//
+//   - from-scratch implementations of the paper's three universal lossless
+//     compression schemes — gzip (LZ77/DEFLATE), compress (LZW) and bzip2
+//     (Burrows-Wheeler) — plus the zlib container (Codec, NewCodec);
+//   - the paper's analytical energy model for compressed downloading,
+//     Equations 1-6, with the published parameters (EnergyModel,
+//     Params11Mbps, Params2Mbps);
+//   - a simulated iPAQ 3650 + WaveLAN 802.11b testbed — power-state
+//     machine, packet-level link, sampling multimeter — calibrated with
+//     the paper's Table 1 currents and fitted coefficients (RunExperiment);
+//   - the block-by-block selective compression scheme of Section 4.3
+//     (SelectiveEncode/SelectiveDecode);
+//   - a real TCP proxy server and interleaving handheld client
+//     (NewProxyServer, NewProxyClient);
+//   - the experiment harness that regenerates every table and figure of
+//     the paper's evaluation (ExperimentConfig and the Render* helpers).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package repro
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/experiment"
+	"repro/internal/flate"
+	"repro/internal/pipeline"
+	"repro/internal/proxy"
+	"repro/internal/selective"
+	"repro/internal/session"
+	"repro/internal/wlan"
+	"repro/internal/workload"
+)
+
+// Scheme identifies a compression scheme.
+type Scheme = codec.Scheme
+
+// The paper's compression schemes.
+const (
+	Gzip     = codec.Gzip
+	Compress = codec.Compress
+	Bzip2    = codec.Bzip2
+	Zlib     = codec.Zlib
+)
+
+// Codec compresses and decompresses byte buffers.
+type Codec = codec.Codec
+
+// NewCodec returns a codec for the scheme at the given level; level 0
+// selects the paper's setting (gzip -9, compress -b 16, bzip2 -9).
+func NewCodec(s Scheme, level int) (Codec, error) { return codec.New(s, level) }
+
+// Schemes lists the three schemes of the paper's comparison.
+func Schemes() []Scheme { return codec.Schemes() }
+
+// NewGzipWriter returns a streaming gzip compressor (io.WriteCloser) at
+// the given level; large inputs compress in constant memory.
+func NewGzipWriter(w io.Writer, level int) (io.WriteCloser, error) {
+	return flate.NewWriter(w, level)
+}
+
+// NewGzipReader returns a streaming gzip decompressor (io.Reader) that
+// verifies the CRC-32 trailer at EOF.
+func NewGzipReader(r io.Reader) io.Reader { return flate.NewReader(r) }
+
+// CompressionFactor is input size over output size.
+func CompressionFactor(rawSize, compSize int) float64 { return codec.Factor(rawSize, compSize) }
+
+// EnergyModel is the paper's analytical model (Equations 1-6); sizes are
+// in MB, energies in joules.
+type EnergyModel = energy.Params
+
+// Params11Mbps returns the model at the paper's primary 11 Mb/s setting.
+func Params11Mbps() EnergyModel { return energy.Params11Mbps() }
+
+// Params2Mbps returns the model at the 2 Mb/s validation setting.
+func Params2Mbps() EnergyModel { return energy.Params2Mbps() }
+
+// ShouldCompress is the paper's Equation 6 decision test on byte sizes.
+func ShouldCompress(rawBytes, compBytes int) bool {
+	return energy.PaperShouldCompress(rawBytes, compBytes)
+}
+
+// FileThresholdBytes is the size below which files are never compressed.
+const FileThresholdBytes = energy.PaperFileThresholdBytes
+
+// ExperimentSpec describes one simulated download experiment.
+type ExperimentSpec = pipeline.Spec
+
+// ExperimentResult is the outcome of a simulated experiment.
+type ExperimentResult = pipeline.Result
+
+// Execution modes for RunExperiment.
+const (
+	ModePlain       = pipeline.ModePlain
+	ModeSequential  = pipeline.ModeSequential
+	ModeInterleaved = pipeline.ModeInterleaved
+)
+
+// RunExperiment compresses real bytes with the real codecs and replays the
+// transfer on the simulated device/link/meter stack.
+func RunExperiment(spec ExperimentSpec) (ExperimentResult, error) { return pipeline.Run(spec) }
+
+// UploadSpec describes one simulated upload experiment (the extension of
+// the paper's Section 7: the handheld compresses, then sends).
+type UploadSpec = pipeline.UploadSpec
+
+// RunUpload executes an upload experiment.
+func RunUpload(spec UploadSpec) (ExperimentResult, error) { return pipeline.RunUpload(spec) }
+
+// RateConfig describes an 802.11b rate point.
+type RateConfig = wlan.RateConfig
+
+// Rate constructors for the measured and interpolated 802.11b settings.
+var (
+	Rate11Mbps  = wlan.Rate11Mbps
+	Rate5_5Mbps = wlan.Rate5_5Mbps
+	Rate2Mbps   = wlan.Rate2Mbps
+	Rate1Mbps   = wlan.Rate1Mbps
+)
+
+// SelectiveDecider is the per-block compression decision test.
+type SelectiveDecider = selective.Decider
+
+// Deciders for the selective scheme.
+type (
+	// PaperDecider applies the paper's literal Equation 6.
+	PaperDecider = selective.PaperDecider
+	// ModelDecider derives decisions from an EnergyModel.
+	ModelDecider = selective.ModelDecider
+)
+
+// SelectiveBlockSize is the 0.128 MB compression buffer.
+const SelectiveBlockSize = selective.BlockSize
+
+// SelectiveEncode applies the Figure 10 block-by-block adaptive scheme and
+// returns the container bytes plus summary statistics.
+func SelectiveEncode(data []byte, c Codec, d SelectiveDecider) ([]byte, selective.Stats, error) {
+	if d == nil {
+		d = selective.PaperDecider{}
+	}
+	enc, err := selective.Encode(data, c, d)
+	if err != nil {
+		return nil, selective.Stats{}, err
+	}
+	return enc.Bytes(), enc.Stats(), nil
+}
+
+// SelectiveDecode decodes a selective container. maxSize, if positive,
+// bounds the output.
+func SelectiveDecode(stream []byte, maxSize int) ([]byte, error) {
+	return selective.Decode(stream, maxSize)
+}
+
+// ProxyServer is the stationary proxy of the paper's testbed.
+type ProxyServer = proxy.Server
+
+// ProxyClient is the handheld-side download client with interleaved
+// decompression.
+type ProxyClient = proxy.Client
+
+// ProxyClientMode selects how the proxy serves a fetch.
+type ProxyClientMode = proxy.Mode
+
+// Proxy transfer modes.
+const (
+	ProxyRaw           = proxy.ModeRaw
+	ProxyPrecompressed = proxy.ModePrecompressed
+	ProxyOnDemand      = proxy.ModeOnDemand
+	ProxySelective     = proxy.ModeSelective
+)
+
+// NewProxyServer returns a proxy server; decider nil selects Equation 6.
+func NewProxyServer(decider SelectiveDecider) *ProxyServer { return proxy.NewServer(decider) }
+
+// NewProxyClient returns a client for the proxy at addr.
+func NewProxyClient(addr string) *ProxyClient { return proxy.NewClient(addr) }
+
+// FileSpec describes one corpus file from the paper's Table 2.
+type FileSpec = workload.FileSpec
+
+// Corpus returns the paper's Table 2 corpus specification.
+func Corpus() []FileSpec { return workload.Table2() }
+
+// ScaledCorpus returns the corpus with large files scaled by factor.
+func ScaledCorpus(factor float64) []FileSpec { return workload.ScaledCorpus(factor) }
+
+// GenerateMixedFile produces tar-like content alternating compressible and
+// incompressible blocks (Section 4.3's motivating case).
+func GenerateMixedFile(size int, seed uint64) []byte { return workload.MixedFile(size, seed) }
+
+// ExperimentConfig controls the table/figure regeneration harness.
+type ExperimentConfig = experiment.Config
+
+// SessionSpec describes a multi-request browse session for the radio
+// idle-management policy study (the paper's Section 2 discussion).
+type SessionSpec = session.Spec
+
+// SessionRequest is one request of a session.
+type SessionRequest = session.Request
+
+// Radio idle-management policies.
+const (
+	PolicyAlwaysOn        = session.AlwaysOn
+	PolicyHardwarePS      = session.HardwarePS
+	PolicyPredictiveSleep = session.PredictiveSleep
+)
+
+// RunSession executes a session under a policy.
+func RunSession(spec SessionSpec) (session.Result, error) { return session.Run(spec) }
+
+// WebSession builds a deterministic browse-like request mix.
+func WebSession(n int, meanGap time.Duration, meanBytes int, seed int64) []SessionRequest {
+	return session.WebSession(n, meanGap, meanBytes, seed)
+}
+
+// Battery models the handheld's energy store for lifetime estimates.
+type Battery = device.Battery
+
+// IPAQBattery returns the iPAQ 3650's 1500 mAh pack.
+func IPAQBattery() Battery { return device.IPAQBattery() }

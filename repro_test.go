@@ -1,0 +1,126 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestFacadeCodecRoundTrip(t *testing.T) {
+	data := []byte(strings.Repeat("public api round trip ", 2000))
+	for _, s := range repro.Schemes() {
+		c, err := repro.NewCodec(s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := c.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decompress(comp, 0)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%v: round trip failed: %v", s, err)
+		}
+		if repro.CompressionFactor(len(data), len(comp)) < 2 {
+			t.Errorf("%v: factor too low", s)
+		}
+	}
+}
+
+func TestFacadeEnergyModel(t *testing.T) {
+	m := repro.Params11Mbps()
+	if e := m.DownloadEnergy(1.0); e < 3.4 || e > 3.7 {
+		t.Errorf("E(1MB) = %v", e)
+	}
+	if !repro.ShouldCompress(1_000_000, 400_000) {
+		t.Error("factor 2.5 on 1 MB should compress")
+	}
+	if repro.ShouldCompress(2000, 100) {
+		t.Error("sub-threshold file should not compress")
+	}
+}
+
+func TestFacadeRunExperiment(t *testing.T) {
+	data := []byte(strings.Repeat("experiment through the facade ", 10000))
+	res, err := repro.RunExperiment(repro.ExperimentSpec{
+		Data:   data,
+		Scheme: repro.Gzip,
+		Mode:   repro.ModeInterleaved,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExactEnergyJ <= 0 || res.Factor < 2 {
+		t.Errorf("result: %+v", res)
+	}
+}
+
+func TestFacadeSelective(t *testing.T) {
+	data := repro.GenerateMixedFile(512_000, 7)
+	c, err := repro.NewCodec(repro.Zlib, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, stats, err := repro.SelectiveEncode(data, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlocksCompressed == 0 || stats.BlocksCompressed == stats.BlocksTotal {
+		t.Errorf("mixed decisions expected: %d/%d", stats.BlocksCompressed, stats.BlocksTotal)
+	}
+	got, err := repro.SelectiveDecode(stream, 0)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("selective round trip: %v", err)
+	}
+}
+
+func TestFacadeProxy(t *testing.T) {
+	srv := repro.NewProxyServer(nil)
+	content := []byte(strings.Repeat("proxy through the facade ", 5000))
+	srv.Register("file.txt", content)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	got, stats, err := repro.NewProxyClient(addr).Fetch("file.txt", repro.Gzip, repro.ProxySelective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch")
+	}
+	if stats.Factor < 2 {
+		t.Errorf("factor %.2f", stats.Factor)
+	}
+}
+
+func TestFacadeCorpus(t *testing.T) {
+	if len(repro.Corpus()) != 37 {
+		t.Errorf("corpus size %d", len(repro.Corpus()))
+	}
+	scaled := repro.ScaledCorpus(0.1)
+	if scaled[0].Size >= repro.Corpus()[0].Size {
+		t.Error("scaling had no effect")
+	}
+}
+
+func TestFacadeSessionAndBattery(t *testing.T) {
+	reqs := repro.WebSession(5, time.Second, 50_000, 1)
+	res, err := repro.RunSession(repro.SessionSpec{
+		Requests: reqs, Policy: repro.PolicyHardwarePS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyJ <= 0 {
+		t.Errorf("session energy %v", res.EnergyJ)
+	}
+	b := repro.IPAQBattery()
+	if b.Operations(res.EnergyJ) <= 0 {
+		t.Error("battery operations")
+	}
+}
