@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro"
 )
@@ -33,10 +34,12 @@ func run() error {
 		modeName   = flag.String("mode", "selective", "mode: raw, precompressed, ondemand, selective")
 		rateMbps   = flag.Float64("rate", 11, "nominal link rate for the energy estimate: 11, 5.5, 2, 1")
 		outPath    = flag.String("o", "", "write fetched content to this file")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "whole-transfer deadline (0 disables)")
 	)
 	flag.Parse()
 
 	cli := repro.NewProxyClient(*addr)
+	cli.Timeout = *timeout
 	if *list {
 		names, err := cli.List()
 		if err != nil {

@@ -6,6 +6,11 @@
 //
 //	proxyd -addr 127.0.0.1:7070 -corpus -scale 0.125
 //	proxyd -addr 127.0.0.1:7070 -dir ./files -precompress gzip
+//	proxyd -addr 127.0.0.1:7070 -corpus -cache-bytes 134217728 -workers 8
+//
+// SIGUSR1 prints a dataplane stats snapshot (cache hits/misses,
+// singleflight coalescing, bytes served, connection latency histogram);
+// the same report prints at shutdown.
 package main
 
 import (
@@ -33,10 +38,17 @@ func run() error {
 		useCorpus  = flag.Bool("corpus", false, "serve the built-in synthetic Table 2 corpus")
 		scale      = flag.Float64("scale", 0.125, "corpus size scale")
 		precompSch = flag.String("precompress", "", "precompress all files with this scheme (gzip, compress, bzip2, zlib)")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "compressed-artifact cache budget in bytes (negative disables)")
+		workers    = flag.Int("workers", 0, "max concurrent compressions (0 = GOMAXPROCS)")
+		maxConns   = flag.Int("max-conns", 0, "max concurrent connections (0 = 256)")
 	)
 	flag.Parse()
 
-	srv := repro.NewProxyServer(nil)
+	srv := repro.NewProxyServerWith(nil, repro.ProxyConfig{
+		CacheBytes: *cacheBytes,
+		Workers:    *workers,
+		MaxConns:   *maxConns,
+	})
 	count := 0
 	switch {
 	case *dir != "":
@@ -84,10 +96,20 @@ func run() error {
 	fmt.Printf("proxyd serving %d files on %s\n", count, bound)
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	<-sigc
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	for sig := range sigc {
+		if sig == syscall.SIGUSR1 {
+			fmt.Println(srv.Stats())
+			continue
+		}
+		break
+	}
 	fmt.Println("shutting down")
-	return srv.Close()
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Println(srv.Stats())
+	return nil
 }
 
 func parseScheme(name string) (repro.Scheme, error) {

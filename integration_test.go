@@ -43,6 +43,7 @@ func TestCorpusThroughProxyAllModes(t *testing.T) {
 		t.Fatalf("listed %d files, registered %d", len(names), len(specs))
 	}
 
+	fetches, cacheable := 0, 0
 	for _, name := range names {
 		for _, scheme := range []repro.Scheme{repro.Gzip, repro.Compress, repro.Bzip2, repro.Zlib} {
 			for _, mode := range []repro.ProxyClientMode{repro.ProxyRaw, repro.ProxyOnDemand, repro.ProxySelective} {
@@ -56,8 +57,34 @@ func TestCorpusThroughProxyAllModes(t *testing.T) {
 				if stats.RawBytes != len(contents[name]) {
 					t.Fatalf("%s/%v/%v: raw bytes %d", name, scheme, mode, stats.RawBytes)
 				}
+				fetches++
+				if mode != repro.ProxyRaw {
+					cacheable++
+				}
 			}
 		}
+	}
+
+	// Repeat one compressing fetch: the sharded artifact cache must serve
+	// it without re-compressing.
+	if _, _, err := cli.Fetch(names[0], repro.Gzip, repro.ProxyOnDemand); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.CacheHits < 1 {
+		t.Errorf("repeat fetch was not a cache hit: %+v", st)
+	}
+	if st.CacheHits+st.CacheMisses != int64(cacheable)+1 {
+		t.Errorf("hits(%d)+misses(%d) != %d cacheable fetches", st.CacheHits, st.CacheMisses, cacheable+1)
+	}
+	if st.Compressions+st.Coalesced != st.CacheMisses {
+		t.Errorf("compressions(%d)+coalesced(%d) != misses(%d)", st.Compressions, st.Coalesced, st.CacheMisses)
+	}
+	if st.ConnsTotal != int64(fetches)+2 { // + the List call + the repeat fetch
+		t.Errorf("ConnsTotal = %d, want %d", st.ConnsTotal, fetches+2)
+	}
+	if st.Errors != 0 {
+		t.Errorf("server recorded %d errors during the sweep", st.Errors)
 	}
 }
 

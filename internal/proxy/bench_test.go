@@ -1,0 +1,76 @@
+package proxy
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/workload"
+)
+
+// BenchmarkServeCacheHit measures the steady-state serve path over real
+// loopback TCP: every fetch after the first is a cache hit, so this is the
+// number later PRs must not regress — the old global-mutex path paid a
+// full re-compression here in on-demand mode.
+func BenchmarkServeCacheHit(b *testing.B) {
+	srv := NewServer(nil)
+	data := workload.Generate(workload.ClassXML, 256_000, 1)
+	srv.Register("doc.xml", data)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Warm the artifact so the timed region measures hits only.
+	if _, _, err := NewClient(addr).Fetch("doc.xml", codec.Gzip, ModeOnDemand); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cli := NewClient(addr)
+		for pb.Next() {
+			if _, _, err := cli.Fetch("doc.xml", codec.Gzip, ModeOnDemand); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if st := srv.Stats(); st.Compressions != 1 {
+		b.Fatalf("cache-hit benchmark compressed %d times", st.Compressions)
+	}
+}
+
+// BenchmarkServeCacheMissParallel disables the cache so (nearly) every
+// fetch compresses on the serving path, cycling over distinct files to
+// defeat singleflight coalescing: the worst-case concurrent-miss baseline.
+func BenchmarkServeCacheMissParallel(b *testing.B) {
+	srv := NewServerWith(nil, Config{CacheBytes: -1})
+	const nFiles = 32
+	size := 64_000
+	for i := 0; i < nFiles; i++ {
+		srv.Register(fmt.Sprintf("f%02d.xml", i), workload.Generate(workload.ClassXML, size, uint64(i)))
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	var next atomic.Int64
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cli := NewClient(addr)
+		for pb.Next() {
+			name := fmt.Sprintf("f%02d.xml", next.Add(1)%nFiles)
+			if _, _, err := cli.Fetch(name, codec.Gzip, ModeOnDemand); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/selective"
+)
+
+// blocksOfSize builds a one-block stream whose cache charge is
+// predictable: entrySize = entryOverhead + len(name) + payload + 32.
+func blocksOfSize(payload int) []selective.Block {
+	return []selective.Block{{RawLen: payload, Payload: make([]byte, payload)}}
+}
+
+func key1(name string) cacheKey {
+	return cacheKey{name: name, gen: 1, scheme: codec.Gzip, fp: fpAlways}
+}
+
+// oneShardCache keeps every key in a single lock domain so eviction order
+// is fully deterministic.
+func oneShardCache(budget int64, m *metrics) *blockCache {
+	return newBlockCache(budget, 1, m)
+}
+
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	// Budget fits exactly three single-block entries of this shape.
+	name := "aaaa"
+	per := entrySize(key1(name), blocksOfSize(1000))
+	var m metrics
+	c := oneShardCache(3*per, &m)
+
+	for _, n := range []string{"aaaa", "bbbb", "cccc"} {
+		c.put(key1(n), blocksOfSize(1000))
+	}
+	if got := c.len(); got != 3 {
+		t.Fatalf("len = %d, want 3", got)
+	}
+	// Refresh "aaaa" so "bbbb" is now least recently used.
+	if _, ok := c.get(key1("aaaa")); !ok {
+		t.Fatal("aaaa missing")
+	}
+	c.put(key1("dddd"), blocksOfSize(1000))
+
+	if _, ok := c.get(key1("bbbb")); ok {
+		t.Error("bbbb should have been evicted as LRU")
+	}
+	for _, n := range []string{"aaaa", "cccc", "dddd"} {
+		if _, ok := c.get(key1(n)); !ok {
+			t.Errorf("%s evicted, want retained", n)
+		}
+	}
+	if got := m.evictions.Load(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+func TestCacheByteAccounting(t *testing.T) {
+	var m metrics
+	c := oneShardCache(1<<20, &m)
+	want := int64(0)
+	for i := 0; i < 10; i++ {
+		k := key1(fmt.Sprintf("file%04d", i))
+		b := blocksOfSize(100 * (i + 1))
+		c.put(k, b)
+		want += entrySize(k, b)
+	}
+	if got := c.bytes(); got != want {
+		t.Fatalf("bytes = %d, want %d", got, want)
+	}
+	// Replacing a key must not double-count.
+	k := key1("file0003")
+	c.put(k, blocksOfSize(5000))
+	want += entrySize(k, blocksOfSize(5000)) - entrySize(k, blocksOfSize(400))
+	if got := c.bytes(); got != want {
+		t.Fatalf("bytes after replace = %d, want %d", got, want)
+	}
+	// dropName frees the bytes.
+	c.dropName("file0003")
+	want -= entrySize(k, blocksOfSize(5000))
+	if got := c.bytes(); got != want {
+		t.Fatalf("bytes after drop = %d, want %d", got, want)
+	}
+	if got := c.len(); got != 9 {
+		t.Fatalf("len after drop = %d, want 9", got)
+	}
+}
+
+func TestCacheBudgetNeverExceeded(t *testing.T) {
+	var m metrics
+	budget := int64(8 * 1024)
+	c := oneShardCache(budget, &m)
+	for i := 0; i < 200; i++ {
+		c.put(key1(fmt.Sprintf("f%03d", i)), blocksOfSize(500+i))
+		if got := c.bytes(); got > budget {
+			t.Fatalf("after put %d: %d bytes > budget %d", i, got, budget)
+		}
+	}
+	if m.evictions.Load() == 0 {
+		t.Error("expected evictions under a tight budget")
+	}
+}
+
+func TestCacheRejectsOversizedArtifact(t *testing.T) {
+	var m metrics
+	c := oneShardCache(1024, &m)
+	c.put(key1("small"), blocksOfSize(100))
+	c.put(key1("huge"), blocksOfSize(10_000))
+	if _, ok := c.get(key1("huge")); ok {
+		t.Error("artifact larger than the shard budget was cached")
+	}
+	if _, ok := c.get(key1("small")); !ok {
+		t.Error("oversized put evicted an unrelated resident entry")
+	}
+	if got := m.cacheRejects.Load(); got != 1 {
+		t.Errorf("rejects = %d, want 1", got)
+	}
+}
+
+func TestCacheGenerationsDoNotAlias(t *testing.T) {
+	c := oneShardCache(1<<20, nil)
+	k1 := cacheKey{name: "f", gen: 1, scheme: codec.Gzip, fp: fpAlways}
+	k2 := cacheKey{name: "f", gen: 2, scheme: codec.Gzip, fp: fpAlways}
+	c.put(k1, blocksOfSize(10))
+	if _, ok := c.get(k2); ok {
+		t.Fatal("generation 2 read generation 1's artifact")
+	}
+	c.put(k2, blocksOfSize(20))
+	b1, _ := c.get(k1)
+	b2, _ := c.get(k2)
+	if len(b1[0].Payload) != 10 || len(b2[0].Payload) != 20 {
+		t.Fatal("generations aliased")
+	}
+	// dropName removes both generations.
+	c.dropName("f")
+	if c.len() != 0 {
+		t.Fatalf("len = %d after dropName", c.len())
+	}
+}
+
+func TestCacheShardDistribution(t *testing.T) {
+	c := newBlockCache(64<<20, 16, nil)
+	seen := make(map[*cacheShard]int)
+	for i := 0; i < 2000; i++ {
+		k := cacheKey{name: fmt.Sprintf("file-%d.dat", i), gen: 1, scheme: codec.Scheme(1 + i%4), fp: fpAlways}
+		seen[c.shardFor(k)]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("keys landed on %d/16 shards", len(seen))
+	}
+	for sh, n := range seen {
+		// 2000 keys over 16 shards averages 125; a shard under 40 or over
+		// 320 means the hash is badly skewed.
+		if n < 40 || n > 320 {
+			t.Errorf("shard %p got %d keys, want roughly balanced", sh, n)
+		}
+	}
+}
+
+// TestCacheEvictionDuringSingleflight interleaves a slow singleflight
+// build with concurrent puts that churn the shard: exactly one build may
+// run (followers either share the flight or hit the cache the leader
+// filled — the server's double-check pattern), the leader's eventual put
+// must stay within budget, and every waiter must receive the built blocks.
+func TestCacheEvictionDuringSingleflight(t *testing.T) {
+	var m metrics
+	budget := int64(4 * 1024)
+	c := oneShardCache(budget, &m)
+	var g flightGroup
+
+	target := key1("contested")
+	building := make(chan struct{})
+	release := make(chan struct{})
+	var builds atomic.Int32
+
+	var wg sync.WaitGroup
+	results := make([][]selective.Block, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 0 {
+				blocks, err, _ := g.do(target, func() ([]selective.Block, error) {
+					close(building)
+					<-release
+					builds.Add(1)
+					b := blocksOfSize(600)
+					c.put(target, b)
+					return b, nil
+				})
+				if err != nil {
+					t.Error(err)
+				}
+				results[i] = blocks
+				return
+			}
+			<-building
+			blocks, err, _ := g.do(target, func() ([]selective.Block, error) {
+				// Late arrival after the leader's flight completed: the
+				// double-check must find the leader's artifact instead of
+				// rebuilding.
+				if b, ok := c.get(target); ok {
+					return b, nil
+				}
+				builds.Add(1)
+				return blocksOfSize(600), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = blocks
+		}(i)
+	}
+
+	// While the leader is parked mid-build, churn the shard so evictions
+	// interleave with the flight.
+	<-building
+	for i := 0; i < 50; i++ {
+		c.put(key1(fmt.Sprintf("churn%02d", i)), blocksOfSize(700))
+	}
+	close(release)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds ran for one contested key, want 1", n)
+	}
+	for i, b := range results {
+		if len(b) != 1 || len(b[0].Payload) != 600 {
+			t.Fatalf("waiter %d got wrong blocks: %v", i, b)
+		}
+	}
+	if got := c.bytes(); got > budget {
+		t.Fatalf("budget exceeded after interleaved churn: %d > %d", got, budget)
+	}
+	if m.evictions.Load() == 0 {
+		t.Error("expected evictions during churn")
+	}
+}

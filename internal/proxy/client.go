@@ -18,11 +18,29 @@ type Client struct {
 	addr string
 	// DialTimeout bounds connection establishment.
 	DialTimeout time.Duration
+	// Timeout, when positive, bounds a whole List or Fetch call via a
+	// connection deadline, so a stalled proxy cannot wedge the handheld.
+	Timeout time.Duration
 }
 
 // NewClient returns a client for the proxy at addr.
 func NewClient(addr string) *Client {
 	return &Client{addr: addr, DialTimeout: 10 * time.Second}
+}
+
+// dial connects and applies the per-call deadline.
+func (c *Client) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if c.Timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return conn, nil
 }
 
 // FetchStats reports what crossed the wire.
@@ -40,7 +58,7 @@ type FetchStats struct {
 
 // List fetches the server's file catalogue.
 func (c *Client) List() ([]string, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	conn, err := c.dial()
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +71,11 @@ func (c *Client) List() ([]string, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
 	}
-	if hdr[0] != statusOK {
+	switch hdr[0] {
+	case statusOK:
+	case statusBusy:
+		return nil, ErrBusy
+	default:
 		return nil, fmt.Errorf("%w: status %d", ErrProtocol, hdr[0])
 	}
 	n := int(binary.BigEndian.Uint32(hdr[1:]))
@@ -91,7 +113,7 @@ type decoded struct {
 // the wire.
 func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, FetchStats, error) {
 	var stats FetchStats
-	conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	conn, err := c.dial()
 	if err != nil {
 		return nil, stats, err
 	}
@@ -109,6 +131,8 @@ func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, Fet
 	case statusOK:
 	case statusNotFound:
 		return nil, stats, fmt.Errorf("%w: %q", ErrNotFound, name)
+	case statusBusy:
+		return nil, stats, ErrBusy
 	default:
 		return nil, stats, fmt.Errorf("%w: status %d", ErrProtocol, hdr.Status)
 	}

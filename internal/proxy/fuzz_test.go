@@ -1,0 +1,92 @@
+package proxy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRequest throws arbitrary bytes at the PXY1 request parser:
+// malformed magic, truncated frames and oversized length fields must
+// produce errors, never a panic or an over-allocation; frames the parser
+// accepts must survive a write/read round trip unchanged.
+func FuzzReadRequest(f *testing.F) {
+	// Well-formed GET and LIST requests.
+	f.Add([]byte("PXY1\x02\x00\x07doc.xml\x01\x03"))
+	f.Add([]byte("PXY1\x01\x00\x00\x00\x00"))
+	// Bad magic, truncation at every interesting boundary, oversized name.
+	f.Add([]byte("QXY1\x02\x00\x07doc.xml\x01\x03"))
+	f.Add([]byte("PXY1"))
+	f.Add([]byte("PXY1\x02"))
+	f.Add([]byte("PXY1\x02\x00\x07doc"))
+	f.Add([]byte("PXY1\x02\xff\xff"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := readRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(req.Name) > maxNameLen {
+			t.Fatalf("accepted name of %d bytes, cap is %d", len(req.Name), maxNameLen)
+		}
+		var buf bytes.Buffer
+		if err := writeRequest(&buf, req); err != nil {
+			t.Fatalf("re-encode of accepted request failed: %v", err)
+		}
+		back, err := readRequest(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of accepted request failed: %v", err)
+		}
+		if back != req {
+			t.Fatalf("round trip changed request: %+v != %+v", back, req)
+		}
+	})
+}
+
+// FuzzReadBlockFrame does the same for the block framing: oversized
+// payload lengths must be refused before allocation, unknown flags must
+// error, and accepted frames must round-trip.
+func FuzzReadBlockFrame(f *testing.F) {
+	// Raw block, compressed block, end frame.
+	f.Add([]byte("\x00\x00\x00\x00\x05\x00\x00\x00\x05hello"))
+	f.Add([]byte("\x01\x00\x00\x01\x00\x00\x00\x00\x04zzzz"))
+	f.Add([]byte("\xff\xde\xad\xbe\xef\x00\x00\x00\x00"))
+	// Oversized payload length, bad flag, truncated header and payload.
+	f.Add([]byte("\x01\x00\x00\x00\x00\xff\xff\xff\xff"))
+	f.Add([]byte("\x07\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("\x00\x00\x00"))
+	f.Add([]byte("\x00\x00\x00\x00\x05\x00\x00\x00\x05he"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, crc, ok, err := readBlock(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !ok {
+			// End frame: re-encode and confirm the CRC survives.
+			var buf bytes.Buffer
+			if err := writeEnd(&buf, crc); err != nil {
+				t.Fatal(err)
+			}
+			_, crc2, ok2, err := readBlock(&buf)
+			if err != nil || ok2 || crc2 != crc {
+				t.Fatalf("end frame round trip: crc %d->%d ok=%v err=%v", crc, crc2, ok2, err)
+			}
+			return
+		}
+		if len(b.Payload) > maxBlockWire {
+			t.Fatalf("accepted payload of %d bytes, cap is %d", len(b.Payload), maxBlockWire)
+		}
+		var buf bytes.Buffer
+		if err := writeBlock(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		back, _, ok2, err := readBlock(&buf)
+		if err != nil || !ok2 {
+			t.Fatalf("re-decode of accepted block failed: ok=%v err=%v", ok2, err)
+		}
+		if back.Flag != b.Flag || back.RawLen != b.RawLen || !bytes.Equal(back.Payload, b.Payload) {
+			t.Fatal("round trip changed block")
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package proxy
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// numLatencyBounds is len(latencyBounds); the histogram carries one extra
+// overflow bucket.
+const numLatencyBounds = 11
+
+// latencyBounds are the upper edges of the per-connection latency
+// histogram buckets; durations at or past the last bound land in the
+// overflow bucket.
+var latencyBounds = [numLatencyBounds]time.Duration{
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+}
+
+// metrics is the server's hot-path instrumentation. Every field is an
+// atomic so the serve path never takes a lock to count.
+type metrics struct {
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	coalesced    atomic.Int64
+	compressions atomic.Int64
+	evictions    atomic.Int64
+	cacheRejects atomic.Int64
+
+	bytesRaw        atomic.Int64
+	bytesCompressed atomic.Int64
+
+	connsTotal    atomic.Int64
+	connsActive   atomic.Int64
+	connsRejected atomic.Int64
+	errors        atomic.Int64
+
+	latency [numLatencyBounds + 1]atomic.Int64
+}
+
+// observeLatency records one connection's wall time.
+func (m *metrics) observeLatency(d time.Duration) {
+	for i, b := range latencyBounds {
+		if d < b {
+			m.latency[i].Add(1)
+			return
+		}
+	}
+	m.latency[len(latencyBounds)].Add(1)
+}
+
+// LatencyBucket is one histogram bucket of a Stats snapshot. UpTo is the
+// exclusive upper edge; the overflow bucket has UpTo == 0.
+type LatencyBucket struct {
+	UpTo  time.Duration
+	Count int64
+}
+
+// Stats is a point-in-time snapshot of the server's counters, returned by
+// Server.Stats.
+//
+// Counter relationships (exact when the cache never evicts, otherwise
+// lower bounds):
+//
+//	CacheHits + CacheMisses   == cacheable requests served
+//	Compressions + Coalesced  == CacheMisses (modulo errored requests)
+//	Compressions              == distinct (file, scheme, decider) keys built
+type Stats struct {
+	// Cache counters. A request that finds its compressed block stream in
+	// the cache is a hit; otherwise it is a miss and either runs the
+	// compression itself (Compressions) or waits on an identical in-flight
+	// compression (Coalesced, the singleflight win).
+	CacheHits    int64
+	CacheMisses  int64
+	Coalesced    int64
+	Compressions int64
+	Evictions    int64
+	// CacheRejects counts artifacts too large for their shard's budget.
+	CacheRejects int64
+	// CacheEntries / CacheBytes are the cache's current occupancy.
+	CacheEntries int
+	CacheBytes   int64
+
+	// Payload bytes that crossed the wire in raw and compressed blocks.
+	BytesServedRaw        int64
+	BytesServedCompressed int64
+
+	// Connection counters. ConnsRejected counts connections turned away
+	// with statusBusy at the MaxConns cap.
+	ConnsTotal    int64
+	ConnsActive   int64
+	ConnsRejected int64
+	Errors        int64
+
+	// Latency is the per-connection wall-time histogram, one bucket per
+	// bound plus a trailing overflow bucket.
+	Latency []LatencyBucket
+}
+
+// snapshot materialises the atomics into a Stats value.
+func (m *metrics) snapshot() Stats {
+	s := Stats{
+		CacheHits:             m.cacheHits.Load(),
+		CacheMisses:           m.cacheMisses.Load(),
+		Coalesced:             m.coalesced.Load(),
+		Compressions:          m.compressions.Load(),
+		Evictions:             m.evictions.Load(),
+		CacheRejects:          m.cacheRejects.Load(),
+		BytesServedRaw:        m.bytesRaw.Load(),
+		BytesServedCompressed: m.bytesCompressed.Load(),
+		ConnsTotal:            m.connsTotal.Load(),
+		ConnsActive:           m.connsActive.Load(),
+		ConnsRejected:         m.connsRejected.Load(),
+		Errors:                m.errors.Load(),
+	}
+	s.Latency = make([]LatencyBucket, 0, len(m.latency))
+	for i := range m.latency {
+		b := LatencyBucket{Count: m.latency[i].Load()}
+		if i < len(latencyBounds) {
+			b.UpTo = latencyBounds[i]
+		}
+		s.Latency = append(s.Latency, b)
+	}
+	return s
+}
+
+// String renders the snapshot as a compact multi-line report, the format
+// proxyd prints on SIGUSR1 and at shutdown.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cache: %d hits, %d misses, %d coalesced, %d compressions, %d evictions, %d rejects\n",
+		s.CacheHits, s.CacheMisses, s.Coalesced, s.Compressions, s.Evictions, s.CacheRejects)
+	fmt.Fprintf(&b, "cache occupancy: %d entries, %d bytes\n", s.CacheEntries, s.CacheBytes)
+	fmt.Fprintf(&b, "served: %d bytes raw, %d bytes compressed\n", s.BytesServedRaw, s.BytesServedCompressed)
+	fmt.Fprintf(&b, "conns: %d total, %d active, %d rejected, %d errors\n",
+		s.ConnsTotal, s.ConnsActive, s.ConnsRejected, s.Errors)
+	b.WriteString("latency:")
+	for _, bk := range s.Latency {
+		if bk.Count == 0 {
+			continue
+		}
+		if bk.UpTo == 0 {
+			fmt.Fprintf(&b, " [+inf]=%d", bk.Count)
+		} else {
+			fmt.Fprintf(&b, " [<%v]=%d", bk.UpTo, bk.Count)
+		}
+	}
+	return b.String()
+}

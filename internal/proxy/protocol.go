@@ -32,6 +32,9 @@ const (
 	statusOK       = 0x00
 	statusNotFound = 0x01
 	statusBadReq   = 0x02
+	// statusBusy is returned (and the connection closed) when the server
+	// is at its concurrent-connection cap.
+	statusBusy = 0x03
 
 	blockFlagRaw        = 0x00
 	blockFlagCompressed = 0x01
@@ -82,6 +85,10 @@ var ErrProtocol = errors.New("proxy: protocol error")
 
 // ErrNotFound is returned when the server does not have the file.
 var ErrNotFound = errors.New("proxy: file not found")
+
+// ErrBusy is returned when the server sheds the connection at its
+// concurrent-connection cap; the request is safe to retry.
+var ErrBusy = errors.New("proxy: server busy")
 
 // request is the client->server GET message.
 type request struct {

@@ -3,52 +3,161 @@ package proxy
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/selective"
 )
 
+// ErrClosing is returned to requests caught by a server shutdown.
+var ErrClosing = errors.New("proxy: server closing")
+
+// Config tunes the server's dataplane. The zero value selects defaults.
+type Config struct {
+	// CacheBytes is the total byte budget for the compressed-artifact
+	// cache, split evenly across shards. 0 selects 64 MiB; negative
+	// disables caching (every cacheable request compresses, modulo
+	// singleflight coalescing).
+	CacheBytes int64
+	// Shards is the cache's lock-domain count. 0 selects 16.
+	Shards int
+	// Workers bounds how many compressions run concurrently; requests
+	// beyond the bound queue (backpressure) instead of spawning unbounded
+	// compression work. 0 selects GOMAXPROCS.
+	Workers int
+	// MaxConns caps concurrent connections; excess connections receive
+	// statusBusy and are closed. 0 selects 256.
+	MaxConns int
+	// ReadTimeout bounds how long the server waits for a client's request
+	// frame. 0 selects 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds serving the whole response. 0 selects 2m.
+	WriteTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Minute
+	}
+	return c
+}
+
 // Server is the proxy: a stationary machine that stores files and serves
 // them to handheld clients over TCP, optionally compressing them ahead of
-// time or on demand.
+// time or on demand. Compressed block streams are cached in a sharded LRU
+// keyed by (file, generation, scheme, decision policy); concurrent
+// requests for the same uncached key coalesce into one compression, and
+// compressions run under a bounded worker budget.
 type Server struct {
-	decider selective.Decider
+	decider   selective.Decider
+	deciderFP string
+	cfg       Config
 
 	mu    sync.Mutex
 	files map[string][]byte
-	// precomp caches per-(file, scheme) precompressed block streams.
-	precomp map[string]map[codec.Scheme][]selective.Block
+	gens  map[string]uint64
+
+	cache   *blockCache // nil when caching is disabled
+	flights flightGroup
+	metrics metrics
+	// workerSem bounds concurrent compressions (the worker pool): a slot
+	// must be held while compressBlocks runs.
+	workerSem chan struct{}
+	// connSem bounds concurrent connections.
+	connSem chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 
 	ln        net.Listener
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	// onCompress, when set before Listen, observes each artifact build
+	// (test hook for the singleflight guarantees).
+	onCompress func(cacheKey)
 }
 
-// NewServer returns a server using the given decision model for selective
-// mode (nil selects the paper's Equation 6).
+// Fingerprints for the fixed policies of the non-selective modes.
+const (
+	fpAlways = "always"
+	fpNever  = "never"
+)
+
+// deciderFingerprint distinguishes decision policies in cache keys, so two
+// servers' (or a reconfigured server's) artifacts never alias.
+func deciderFingerprint(d selective.Decider) string {
+	switch d.(type) {
+	case selective.AlwaysCompress:
+		return fpAlways
+	case selective.NeverCompress:
+		return fpNever
+	default:
+		return fmt.Sprintf("%T%+v", d, d)
+	}
+}
+
+// NewServer returns a server with the default Config using the given
+// decision model for selective mode (nil selects the paper's Equation 6).
 func NewServer(decider selective.Decider) *Server {
+	return NewServerWith(decider, Config{})
+}
+
+// NewServerWith returns a server with an explicit dataplane configuration.
+func NewServerWith(decider selective.Decider, cfg Config) *Server {
 	if decider == nil {
 		decider = selective.PaperDecider{}
 	}
-	return &Server{
-		decider: decider,
-		files:   make(map[string][]byte),
-		precomp: make(map[string]map[codec.Scheme][]selective.Block),
-		closed:  make(chan struct{}),
+	cfg = cfg.withDefaults()
+	s := &Server{
+		decider:   decider,
+		deciderFP: deciderFingerprint(decider),
+		cfg:       cfg,
+		files:     make(map[string][]byte),
+		gens:      make(map[string]uint64),
+		workerSem: make(chan struct{}, cfg.Workers),
+		connSem:   make(chan struct{}, cfg.MaxConns),
+		conns:     make(map[net.Conn]struct{}),
+		closed:    make(chan struct{}),
 	}
+	if cfg.CacheBytes > 0 {
+		s.cache = newBlockCache(cfg.CacheBytes, cfg.Shards, &s.metrics)
+	}
+	return s
 }
 
-// Register stores a file under name. Content is copied.
+// Register stores a file under name. Content is copied. Re-registering a
+// name bumps its generation and drops its cached artifacts.
 func (s *Server) Register(name string, content []byte) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.files[name] = append([]byte{}, content...)
-	delete(s.precomp, name)
+	s.gens[name]++
+	s.mu.Unlock()
+	if s.cache != nil {
+		s.cache.dropName(name)
+	}
 }
 
 // Files lists registered file names, sorted.
@@ -63,27 +172,37 @@ func (s *Server) Files() []string {
 	return out
 }
 
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	st := s.metrics.snapshot()
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+		st.CacheBytes = s.cache.bytes()
+	}
+	return st
+}
+
+// lookup returns the named file's content and current generation.
+func (s *Server) lookup(name string) (content []byte, gen uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	content, ok = s.files[name]
+	return content, s.gens[name], ok
+}
+
 // Precompress compresses name's blocks with scheme ahead of time, as the
 // Section 3 experiments assume ("compressed a priori and stored on the
-// proxy server").
+// proxy server"). It warms the artifact cache; a subsequent
+// ModePrecompressed (or ModeOnDemand) request for the same scheme is a
+// cache hit.
 func (s *Server) Precompress(name string, scheme codec.Scheme) error {
-	s.mu.Lock()
-	content, ok := s.files[name]
-	s.mu.Unlock()
+	content, gen, ok := s.lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	blocks, err := s.compressBlocks(content, scheme, selective.AlwaysCompress{})
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.precomp[name] == nil {
-		s.precomp[name] = make(map[codec.Scheme][]selective.Block)
-	}
-	s.precomp[name][scheme] = blocks
-	return nil
+	key := cacheKey{name: name, gen: gen, scheme: scheme, fp: fpAlways}
+	_, err := s.getOrCompress(key, content, scheme, selective.AlwaysCompress{})
+	return err
 }
 
 func (s *Server) compressBlocks(content []byte, scheme codec.Scheme, d selective.Decider) ([]selective.Block, error) {
@@ -96,6 +215,74 @@ func (s *Server) compressBlocks(content []byte, scheme codec.Scheme, d selective
 		return nil, err
 	}
 	return enc.Blocks, nil
+}
+
+// getOrCompress is the cache/singleflight/worker-pool fast path: return
+// the cached artifact, or build it exactly once per key under a bounded
+// compression slot while identical concurrent requests wait for the
+// result.
+func (s *Server) getOrCompress(key cacheKey, content []byte, scheme codec.Scheme, d selective.Decider) ([]selective.Block, error) {
+	if s.cache != nil {
+		if blocks, ok := s.cache.get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			return blocks, nil
+		}
+		s.metrics.cacheMisses.Add(1)
+	}
+	ranCompression := false
+	blocks, err, _ := s.flights.do(key, func() ([]selective.Block, error) {
+		// Double-check under the flight: a previous leader may have
+		// populated the cache between our miss and winning the flight.
+		if s.cache != nil {
+			if b, ok := s.cache.get(key); ok {
+				return b, nil
+			}
+		}
+		// Backpressure: block for a worker slot rather than compressing
+		// unboundedly; abort if the server is shutting down.
+		select {
+		case s.workerSem <- struct{}{}:
+		case <-s.closed:
+			return nil, ErrClosing
+		}
+		defer func() { <-s.workerSem }()
+		ranCompression = true
+		s.metrics.compressions.Add(1)
+		if s.onCompress != nil {
+			s.onCompress(key)
+		}
+		b, err := s.compressBlocks(content, scheme, d)
+		if err != nil {
+			return nil, err
+		}
+		if s.cache != nil {
+			s.cache.put(key, b)
+		}
+		return b, nil
+	})
+	if err == nil && !ranCompression {
+		// Either another request's flight produced the result or the
+		// double-check hit: this request's compression was coalesced away.
+		s.metrics.coalesced.Add(1)
+	}
+	return blocks, err
+}
+
+// chunkRaw frames content as raw blocks without touching a codec.
+func chunkRaw(content []byte) []selective.Block {
+	n := (len(content) + selective.BlockSize - 1) / selective.BlockSize
+	if n == 0 {
+		return nil
+	}
+	blocks := make([]selective.Block, 0, n)
+	for off := 0; off < len(content); off += selective.BlockSize {
+		end := off + selective.BlockSize
+		if end > len(content) {
+			end = len(content)
+		}
+		blocks = append(blocks, selective.Block{RawLen: end - off, Payload: content[off:end]})
+	}
+	return blocks
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -116,26 +303,64 @@ func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			select {
-			case <-s.closed:
-				return
-			default:
-				return
-			}
+			return
 		}
+		select {
+		case s.connSem <- struct{}{}:
+		default:
+			// Over the connection cap: tell the client we are busy and
+			// shed the connection instead of queueing it invisibly.
+			s.metrics.connsRejected.Add(1)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				_ = conn.SetDeadline(time.Now().Add(time.Second))
+				_ = writeGetHeader(conn, getHeader{Status: statusBusy})
+				// Absorb the client's request before closing so the close
+				// does not RST the busy reply out of its receive buffer.
+				var buf [512]byte
+				_, _ = conn.Read(buf[:])
+			}()
+			continue
+		}
+		s.trackConn(conn, true)
 		s.wg.Add(1)
 		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
+			start := time.Now()
+			s.metrics.connsTotal.Add(1)
+			s.metrics.connsActive.Add(1)
+			defer func() {
+				s.metrics.connsActive.Add(-1)
+				s.metrics.observeLatency(time.Since(start))
+				s.trackConn(conn, false)
+				conn.Close()
+				<-s.connSem
+				s.wg.Done()
+			}()
 			// One request per connection, as the paper's one-shot
 			// downloads do.
-			_ = s.handle(conn)
+			if err := s.handle(conn); err != nil {
+				s.metrics.errors.Add(1)
+			}
 		}()
 	}
 }
 
-// Close stops the listener and waits for in-flight connections. It is
-// safe to call more than once.
+func (s *Server) trackConn(conn net.Conn, add bool) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// Close stops the listener and gracefully drains: connections mid-request
+// are unblocked (their pending reads expire immediately) while in-flight
+// compressions and response writes run to completion. It is safe to call
+// more than once.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
@@ -143,6 +368,14 @@ func (s *Server) Close() error {
 		if s.ln != nil {
 			err = s.ln.Close()
 		}
+		// Expire pending request reads so idle connections cannot hold the
+		// drain hostage for ReadTimeout; writes (responses in flight)
+		// proceed untouched.
+		s.connMu.Lock()
+		for conn := range s.conns {
+			_ = conn.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
 		s.wg.Wait()
 	})
 	return err
@@ -153,8 +386,16 @@ func (s *Server) handle(conn net.Conn) error {
 	bw := bufio.NewWriterSize(conn, 64*1024)
 	defer bw.Flush()
 
+	// A client must present its whole request within ReadTimeout, and the
+	// full response must drain within WriteTimeout.
+	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+		return err
+	}
 	req, err := readRequest(br)
 	if err != nil {
+		return err
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 		return err
 	}
 	switch req.Op {
@@ -189,11 +430,14 @@ func (s *Server) handleList(bw *bufio.Writer) error {
 }
 
 func (s *Server) handleGet(bw *bufio.Writer, req request) error {
-	s.mu.Lock()
-	content, ok := s.files[req.Name]
-	s.mu.Unlock()
+	content, gen, ok := s.lookup(req.Name)
 	if !ok {
 		return writeGetHeader(bw, getHeader{Status: statusNotFound})
+	}
+
+	blocks, err := s.blocksFor(req, content, gen)
+	if err != nil {
+		return err
 	}
 	if err := writeGetHeader(bw, getHeader{
 		Status:  statusOK,
@@ -202,15 +446,13 @@ func (s *Server) handleGet(bw *bufio.Writer, req request) error {
 	}); err != nil {
 		return err
 	}
-
-	blocks, err := s.blocksFor(req, content)
-	if err != nil {
-		return err
-	}
 	for _, b := range blocks {
 		flag := byte(blockFlagRaw)
 		if b.Compressed {
 			flag = blockFlagCompressed
+			s.metrics.bytesCompressed.Add(int64(len(b.Payload)))
+		} else {
+			s.metrics.bytesRaw.Add(int64(len(b.Payload)))
 		}
 		wb := wireBlock{Flag: flag, RawLen: uint32(b.RawLen), Payload: b.Payload}
 		if err := writeBlock(bw, wb); err != nil {
@@ -228,31 +470,25 @@ func (s *Server) handleGet(bw *bufio.Writer, req request) error {
 	return bw.Flush()
 }
 
-// blocksFor materialises the block stream for a request; ModeOnDemand and
-// ModeSelective compress here, on the serving path.
-func (s *Server) blocksFor(req request, content []byte) ([]selective.Block, error) {
+// blocksFor materialises the block stream for a request. ModeRaw chunks
+// without compression; every compressing mode goes through the cache and
+// singleflight, so concurrent load amortises the server-side compute.
+func (s *Server) blocksFor(req request, content []byte, gen uint64) ([]selective.Block, error) {
+	var d selective.Decider
+	var fp string
 	switch req.Mode {
 	case ModeRaw:
-		return s.compressBlocks(content, codec.Gzip, selective.NeverCompress{})
-	case ModePrecompressed:
-		s.mu.Lock()
-		blocks := s.precomp[req.Name][req.Scheme]
-		s.mu.Unlock()
-		if blocks != nil {
-			return blocks, nil
-		}
-		// Not cached: compress now and cache for the next request.
-		if err := s.Precompress(req.Name, req.Scheme); err != nil {
-			return nil, err
-		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.precomp[req.Name][req.Scheme], nil
-	case ModeOnDemand:
-		return s.compressBlocks(content, req.Scheme, selective.AlwaysCompress{})
+		return chunkRaw(content), nil
+	case ModePrecompressed, ModeOnDemand:
+		// Both serve the whole file compressed; they share artifacts. The
+		// modes differ only in when the paper's testbed pays the compute,
+		// which the cache now amortises either way.
+		d, fp = selective.AlwaysCompress{}, fpAlways
 	case ModeSelective:
-		return s.compressBlocks(content, req.Scheme, s.decider)
+		d, fp = s.decider, s.deciderFP
 	default:
 		return nil, fmt.Errorf("%w: mode %d", ErrProtocol, int(req.Mode))
 	}
+	key := cacheKey{name: req.Name, gen: gen, scheme: req.Scheme, fp: fp}
+	return s.getOrCompress(key, content, req.Scheme, d)
 }

@@ -1,0 +1,50 @@
+package proxy
+
+import (
+	"sync"
+
+	"repro/internal/selective"
+)
+
+// flightCall is one in-flight compression; followers block on done.
+type flightCall struct {
+	done   chan struct{}
+	blocks []selective.Block
+	err    error
+}
+
+// flightGroup gives singleflight semantics to artifact construction: N
+// simultaneous requests for the same uncached cacheKey run the build
+// function exactly once; the other N-1 wait for and share its result.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cacheKey]*flightCall
+}
+
+// do runs fn for key unless an identical call is already in flight, in
+// which case it waits for that call instead. shared reports whether this
+// caller received another caller's result. Results are not retained: once
+// the leader returns and all waiters are released, the key is forgotten,
+// so errors are retried by the next request rather than cached.
+func (g *flightGroup) do(key cacheKey, fn func() ([]selective.Block, error)) (blocks []selective.Block, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[cacheKey]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.blocks, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.blocks, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.blocks, c.err, false
+}

@@ -171,6 +171,16 @@ type ProxyClient = proxy.Client
 // ProxyClientMode selects how the proxy serves a fetch.
 type ProxyClientMode = proxy.Mode
 
+// ProxyConfig tunes the proxy server's dataplane: artifact-cache byte
+// budget and shard count, compression worker bound, connection cap, and
+// per-connection deadlines. The zero value selects defaults.
+type ProxyConfig = proxy.Config
+
+// ProxyStats is a snapshot of the proxy server's counters (cache
+// hits/misses, singleflight coalescing, bytes served raw vs compressed,
+// connection counts and the latency histogram).
+type ProxyStats = proxy.Stats
+
 // Proxy transfer modes.
 const (
 	ProxyRaw           = proxy.ModeRaw
@@ -181,6 +191,12 @@ const (
 
 // NewProxyServer returns a proxy server; decider nil selects Equation 6.
 func NewProxyServer(decider SelectiveDecider) *ProxyServer { return proxy.NewServer(decider) }
+
+// NewProxyServerWith returns a proxy server with an explicit dataplane
+// configuration.
+func NewProxyServerWith(decider SelectiveDecider, cfg ProxyConfig) *ProxyServer {
+	return proxy.NewServerWith(decider, cfg)
+}
 
 // NewProxyClient returns a client for the proxy at addr.
 func NewProxyClient(addr string) *ProxyClient { return proxy.NewClient(addr) }

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# CI gate: vet + build + full test suite under the race detector, then a
+# short fuzz pass over both PXY1 wire-format parsers. Every change to the
+# proxy dataplane must keep this green.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run='^$' -fuzz=FuzzReadRequest -fuzztime=10s ./internal/proxy
+go test -run='^$' -fuzz=FuzzReadBlockFrame -fuzztime=10s ./internal/proxy
