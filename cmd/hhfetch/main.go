@@ -34,12 +34,18 @@ func run() error {
 		modeName   = flag.String("mode", "selective", "mode: raw, precompressed, ondemand, selective")
 		rateMbps   = flag.Float64("rate", 11, "nominal link rate for the energy estimate: 11, 5.5, 2, 1")
 		outPath    = flag.String("o", "", "write fetched content to this file")
-		timeout    = flag.Duration("timeout", 2*time.Minute, "whole-transfer deadline (0 disables)")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-attempt deadline (0 disables)")
+		retries    = flag.Int("retries", 3, "retry budget for busy servers and transient link failures")
+		retryBase  = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
+		maxBytes   = flag.Int64("max-bytes", 0, "refuse transfers whose claimed size exceeds this (0 = 1 GiB default)")
 	)
 	flag.Parse()
 
 	cli := repro.NewProxyClient(*addr)
 	cli.Timeout = *timeout
+	cli.MaxRetries = *retries
+	cli.RetryBaseDelay = *retryBase
+	cli.MaxFetchBytes = *maxBytes
 	if *list {
 		names, err := cli.List()
 		if err != nil {
@@ -73,6 +79,10 @@ func run() error {
 
 	fmt.Printf("fetched %q: %d bytes raw, %d on the wire (factor %.3f)\n",
 		*name, stats.RawBytes, stats.WireBytes, stats.Factor)
+	if stats.Attempts > 1 {
+		fmt.Printf("link was hostile: %d attempts, %d bytes resumed instead of refetched\n",
+			stats.Attempts, stats.ResumedBytes)
+	}
 	fmt.Printf("blocks: %d total, %d compressed; host decompress wall %.3f ms\n",
 		stats.BlocksTotal, stats.BlocksCompressed, stats.DecompressWall.Seconds()*1000)
 

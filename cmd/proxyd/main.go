@@ -7,6 +7,7 @@
 //	proxyd -addr 127.0.0.1:7070 -corpus -scale 0.125
 //	proxyd -addr 127.0.0.1:7070 -dir ./files -precompress gzip
 //	proxyd -addr 127.0.0.1:7070 -corpus -cache-bytes 134217728 -workers 8
+//	proxyd -addr 127.0.0.1:7070 -corpus -fault-rate 0.01 -fault-seed 42
 //
 // SIGUSR1 prints a dataplane stats snapshot (cache hits/misses,
 // singleflight coalescing, bytes served, connection latency histogram);
@@ -41,14 +42,29 @@ func run() error {
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "compressed-artifact cache budget in bytes (negative disables)")
 		workers    = flag.Int("workers", 0, "max concurrent compressions (0 = GOMAXPROCS)")
 		maxConns   = flag.Int("max-conns", 0, "max concurrent connections (0 = 256)")
+		faultRate  = flag.Float64("fault-rate", 0, "per-I/O fault probability for resets, truncations and bit-flips (0 disables injection)")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	)
 	flag.Parse()
 
-	srv := repro.NewProxyServerWith(nil, repro.ProxyConfig{
+	cfg := repro.ProxyConfig{
 		CacheBytes: *cacheBytes,
 		Workers:    *workers,
 		MaxConns:   *maxConns,
-	})
+	}
+	if *faultRate > 0 {
+		plan := repro.FaultPlan{
+			Seed:         *faultSeed,
+			DelayProb:    5 * *faultRate,
+			FragmentProb: 20 * *faultRate,
+			ResetProb:    *faultRate,
+			TruncateProb: *faultRate,
+			BitFlipProb:  *faultRate,
+		}
+		cfg.WrapConn = plan.Wrapper()
+		fmt.Printf("fault injection armed: rate %g, seed %d\n", *faultRate, *faultSeed)
+	}
+	srv := repro.NewProxyServerWith(nil, cfg)
 	count := 0
 	switch {
 	case *dir != "":

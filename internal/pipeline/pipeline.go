@@ -148,6 +148,10 @@ func Run(spec Spec) (Result, error) {
 
 	var transferEnd, totalEnd time.Duration
 	var stall time.Duration
+	// completed flips when a mode's finish callback actually ran; checking
+	// it (instead of a totalEnd==0 sentinel) keeps zero-byte experiments,
+	// whose end time legitimately is 0, from reporting a half-run result.
+	var completed bool
 
 	meter.Trigger()
 	switch spec.Mode {
@@ -155,6 +159,7 @@ func Run(spec Spec) (Result, error) {
 		link.Download(res.RawBytes, nil, nil, func() {
 			transferEnd = k.Now()
 			totalEnd = transferEnd
+			completed = true
 			meter.Stop()
 		})
 	case ModeSequential:
@@ -175,21 +180,22 @@ func Run(spec Spec) (Result, error) {
 					dev.SetPowerSave(spec.PowerSave)
 				}
 				totalEnd = k.Now()
+				completed = true
 				meter.Stop()
 			})
 		})
 	case ModeInterleaved:
 		if spec.OnDemand {
-			runOnDemand(k, link, worker, blocks, &transferEnd, &totalEnd, &stall, meter)
+			runOnDemand(k, link, worker, blocks, &transferEnd, &totalEnd, &completed, &stall, meter)
 		} else {
-			runInterleaved(k, link, worker, blocks, wireBytes, &transferEnd, &totalEnd, meter)
+			runInterleaved(k, link, worker, blocks, wireBytes, &transferEnd, &totalEnd, &completed, meter)
 		}
 	default:
 		return Result{}, fmt.Errorf("pipeline: unknown mode %d", spec.Mode)
 	}
 	k.Run()
 
-	if totalEnd == 0 && res.RawBytes > 0 {
+	if !completed {
 		return Result{}, errors.New("pipeline: experiment did not complete")
 	}
 	res.TransferSeconds = transferEnd
@@ -324,7 +330,7 @@ func finishSchedule(spec Spec, blocks []wireBlock, wire int, stats blockStats) (
 // decompression work as its last byte arrives; the worker consumes the
 // packet gaps.
 func runInterleaved(k *sim.Kernel, link *wlan.Link, worker *device.Worker,
-	blocks []wireBlock, wireBytes int, transferEnd, totalEnd *time.Duration, meter *multimeter.Meter) {
+	blocks []wireBlock, wireBytes int, transferEnd, totalEnd *time.Duration, completed *bool, meter *multimeter.Meter) {
 
 	thresholds := make([]int, len(blocks))
 	sum := 0
@@ -346,6 +352,7 @@ func runInterleaved(k *sim.Kernel, link *wlan.Link, worker *device.Worker,
 		end := worker.Drain()
 		k.At(end, func() {
 			*totalEnd = k.Now()
+			*completed = true
 			meter.Stop()
 		})
 	})
@@ -354,7 +361,7 @@ func runInterleaved(k *sim.Kernel, link *wlan.Link, worker *device.Worker,
 // runOnDemand chains per-block transfers, stalling (radio idle, worker
 // granted the window) when the server's compression pipeline is behind.
 func runOnDemand(k *sim.Kernel, link *wlan.Link, worker *device.Worker,
-	blocks []wireBlock, transferEnd, totalEnd *time.Duration, stall *time.Duration, meter *multimeter.Meter) {
+	blocks []wireBlock, transferEnd, totalEnd *time.Duration, completed *bool, stall *time.Duration, meter *multimeter.Meter) {
 
 	var sendBlock func(i int)
 	finish := func() {
@@ -362,6 +369,7 @@ func runOnDemand(k *sim.Kernel, link *wlan.Link, worker *device.Worker,
 		end := worker.Drain()
 		k.At(end, func() {
 			*totalEnd = k.Now()
+			*completed = true
 			meter.Stop()
 		})
 	}

@@ -3,29 +3,114 @@ package proxy
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/selective"
+)
+
+// Client defaults.
+const (
+	// defaultMaxFetchBytes caps a fetch's total raw size (1 GiB): a server
+	// header claiming more is rejected before any allocation.
+	defaultMaxFetchBytes = 1 << 30
+	// maxPrealloc clamps the output buffer's up-front capacity. The claimed
+	// RawSize only seeds the allocation up to this bound; beyond it the
+	// buffer grows with the bytes that actually arrive, so a lying header
+	// cannot cost more memory than the data the server really sends.
+	maxPrealloc = 1 << 20
+
+	defaultRetryBase = 50 * time.Millisecond
+	defaultRetryMax  = 2 * time.Second
 )
 
 // Client is the handheld side: it fetches files from the proxy and
 // decompresses arriving blocks in a pipeline concurrent with reception
-// (the user-level interleaving of Section 4.1).
+// (the user-level interleaving of Section 4.1). Every length field that
+// arrives off the wire is bounded before it sizes an allocation, and
+// transient failures — ErrBusy shedding, dial errors, resets, corrupted
+// frames on a lossy link — are retried with exponential backoff, resuming
+// an interrupted fetch from the last CRC-verified block.
 type Client struct {
 	addr string
 	// DialTimeout bounds connection establishment.
 	DialTimeout time.Duration
-	// Timeout, when positive, bounds a whole List or Fetch call via a
-	// connection deadline, so a stalled proxy cannot wedge the handheld.
+	// Timeout, when positive, bounds each attempt of a List or Fetch call
+	// via a connection deadline, so a stalled proxy cannot wedge the
+	// handheld.
 	Timeout time.Duration
+	// MaxFetchBytes caps the total raw size of one fetch; a CRC-clean
+	// header claiming more fails permanently. 0 selects 1 GiB.
+	MaxFetchBytes int64
+	// MaxRetries is how many additional attempts a List or Fetch makes
+	// after a transient failure. 0 disables retries (every failure is
+	// final), matching the pre-retry behavior.
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff (default 50ms); the
+	// delay doubles per attempt up to RetryMaxDelay (default 2s), with
+	// jitter in [d/2, d) to decorrelate retry storms.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 }
 
 // NewClient returns a client for the proxy at addr.
 func NewClient(addr string) *Client {
 	return &Client{addr: addr, DialTimeout: 10 * time.Second}
+}
+
+// permanentError marks a failure retrying cannot fix: the frame that
+// carried it was CRC-verified, so it is the server's honest answer rather
+// than link damage.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func permanent(err error) error { return &permanentError{err: err} }
+
+// isTransient reports whether retrying can plausibly fix err. Anything not
+// explicitly marked permanent is considered link damage: on a lossy WLAN a
+// truncated frame, a reset, or a CRC mismatch is indistinguishable from
+// loss, and the paper's testbed treats retransmission as the norm.
+func isTransient(err error) bool {
+	var pe *permanentError
+	return !errors.As(err, &pe)
+}
+
+func (c *Client) maxFetch() int64 {
+	if c.MaxFetchBytes > 0 {
+		return c.MaxFetchBytes
+	}
+	return defaultMaxFetchBytes
+}
+
+// backoffDelay is the sleep before retry number attempt (0-based):
+// exponential with full jitter, capped at RetryMaxDelay.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	maxd := c.RetryMaxDelay
+	if maxd <= 0 {
+		maxd = defaultRetryMax
+	}
+	d := base
+	for i := 0; i < attempt && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(rand.Int63n(int64(half)+1))
+	}
+	return d
 }
 
 // dial connects and applies the per-call deadline.
@@ -46,18 +131,45 @@ func (c *Client) dial() (net.Conn, error) {
 // FetchStats reports what crossed the wire.
 type FetchStats struct {
 	RawBytes         int
-	WireBytes        int // block payloads + framing
+	WireBytes        int // block payloads + framing, summed across attempts
 	BlocksTotal      int
 	BlocksCompressed int
 	Factor           float64
+	// Attempts is how many connections the fetch used (1 = no retries).
+	Attempts int
+	// ResumedBytes counts raw bytes retry attempts did NOT re-transfer
+	// because the server granted a resume offset.
+	ResumedBytes int
 	// DecompressWall is the wall time the decompression goroutine spent
 	// busy (host-machine time; energy accounting uses the simulator, not
 	// this number).
 	DecompressWall time.Duration
 }
 
-// List fetches the server's file catalogue.
+// List fetches the server's file catalogue, retrying transient failures up
+// to MaxRetries times.
 func (c *Client) List() ([]string, error) {
+	var names []string
+	err := c.withRetries(func() error {
+		var err error
+		names, err = c.listOnce()
+		return err
+	})
+	return names, err
+}
+
+// withRetries runs op, sleeping and re-running on transient failures.
+func (c *Client) withRetries(op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || attempt >= c.MaxRetries || !isTransient(err) {
+			return err
+		}
+		time.Sleep(c.backoffDelay(attempt))
+	}
+}
+
+func (c *Client) listOnce() ([]string, error) {
 	conn, err := c.dial()
 	if err != nil {
 		return nil, err
@@ -110,36 +222,94 @@ type decoded struct {
 // Fetch downloads name with the given scheme and mode, returning the
 // verified content and transfer statistics. Reception and decompression
 // run in separate goroutines: block i decompresses while block i+1 is on
-// the wire.
+// the wire. Transient failures are retried up to MaxRetries times; each
+// retry resumes from the last verified block (every block payload is
+// CRC-checked on receipt, so the prefix accumulated before a failure is
+// trustworthy).
 func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, FetchStats, error) {
 	var stats FetchStats
+	var verified []byte
+	for attempt := 0; ; attempt++ {
+		stats.Attempts++
+		out, reset, err := c.fetchOnce(name, scheme, mode, verified, &stats)
+		if err == nil {
+			stats.RawBytes = len(out)
+			stats.WireBytes += stats.Attempts * (getHeaderLen + blockHeaderLen) // response headers + end frames
+			stats.Factor = codec.Factor(stats.RawBytes, stats.WireBytes)
+			return out, stats, nil
+		}
+		if reset {
+			// Content-level CRC failure with frame-verified blocks: the
+			// file changed between attempts. The resume prefix is useless.
+			verified = nil
+		} else {
+			verified = out
+		}
+		if attempt >= c.MaxRetries || !isTransient(err) {
+			return nil, stats, err
+		}
+		time.Sleep(c.backoffDelay(attempt))
+	}
+}
+
+// fetchOnce runs a single connection's worth of a fetch. verified is the
+// raw prefix already CRC-verified by earlier attempts; the returned slice
+// extends (a server-granted prefix of) it with this attempt's verified
+// blocks. reset reports that the caller must discard the resume state.
+func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, verified []byte, stats *FetchStats) (out []byte, reset bool, err error) {
+	out = verified
 	conn, err := c.dial()
 	if err != nil {
-		return nil, stats, err
+		return out, false, err
 	}
 	defer conn.Close()
 
-	if err := writeRequest(conn, request{Op: opGet, Name: name, Scheme: scheme, Mode: mode}); err != nil {
-		return nil, stats, err
+	req := request{Op: opGet, Name: name, Scheme: scheme, Mode: mode, Offset: uint64(len(verified))}
+	if err := writeRequest(conn, req); err != nil {
+		return out, false, err
 	}
 	br := bufio.NewReaderSize(conn, 64*1024)
 	hdr, err := readGetHeader(br)
 	if err != nil {
-		return nil, stats, err
+		return out, false, err
 	}
+	// The header survived its CRC, so its status and fields are the
+	// server's honest answer: size/scheme violations are permanent, not
+	// link damage.
 	switch hdr.Status {
 	case statusOK:
 	case statusNotFound:
-		return nil, stats, fmt.Errorf("%w: %q", ErrNotFound, name)
+		return out, false, permanent(fmt.Errorf("%w: %q", ErrNotFound, name))
 	case statusBusy:
-		return nil, stats, ErrBusy
+		return out, false, ErrBusy
 	default:
-		return nil, stats, fmt.Errorf("%w: status %d", ErrProtocol, hdr.Status)
+		return out, false, permanent(fmt.Errorf("%w: status %d", ErrProtocol, hdr.Status))
 	}
+	maxFetch := c.maxFetch()
+	if hdr.RawSize > uint64(maxFetch) || !selective.FitsInt(hdr.RawSize) {
+		return out, false, permanent(fmt.Errorf("%w: claimed size %d exceeds fetch limit %d", ErrProtocol, hdr.RawSize, maxFetch))
+	}
+	if hdr.Offset > uint64(len(verified)) {
+		return out, false, permanent(fmt.Errorf("%w: granted offset %d beyond requested %d", ErrProtocol, hdr.Offset, len(verified)))
+	}
+	// The server may grant less than requested (block alignment, or zero
+	// after a re-registration); trim the resume prefix to what it granted.
+	out = verified[:hdr.Offset]
+	stats.ResumedBytes += int(hdr.Offset)
 
 	dec, err := codec.New(hdr.Scheme, 0)
 	if err != nil {
-		return nil, stats, fmt.Errorf("%w: %v", ErrProtocol, err)
+		return out, false, permanent(fmt.Errorf("%w: %v", ErrProtocol, err))
+	}
+
+	// Clamp the up-front allocation: trust the claimed size only up to
+	// maxPrealloc, then grow with the bytes that actually arrive.
+	if need := int(hdr.RawSize); cap(out) == 0 && need > 0 {
+		pre := need
+		if pre > maxPrealloc {
+			pre = maxPrealloc
+		}
+		out = make([]byte, 0, pre)
 	}
 
 	// Pipeline: the receive loop (this goroutine, standing in for the
@@ -149,7 +319,6 @@ func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, Fet
 	blocksCh := make(chan wireBlock, 1)
 	resultCh := make(chan decoded, 1)
 	done := make(chan struct{})
-	var out []byte
 	var decompWall time.Duration
 
 	go func() {
@@ -175,7 +344,9 @@ func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, Fet
 	var wantCRC uint32
 	var recvErr error
 	pending := 0
-	out = make([]byte, 0, int(hdr.RawSize))
+	// rawPromised tracks the raw bytes the accepted block headers have
+	// claimed so far; it may never exceed the header's total.
+	rawPromised := hdr.Offset
 
 	drainOne := func() error {
 		d := <-resultCh
@@ -198,8 +369,13 @@ recvLoop:
 			wantCRC = crc
 			break recvLoop
 		}
+		rawPromised += uint64(b.RawLen)
+		if rawPromised > hdr.RawSize {
+			recvErr = fmt.Errorf("%w: blocks claim %d raw bytes, header says %d", ErrProtocol, rawPromised, hdr.RawSize)
+			break
+		}
 		stats.BlocksTotal++
-		stats.WireBytes += 9 + len(b.Payload)
+		stats.WireBytes += blockHeaderLen + len(b.Payload)
 		if b.Flag == blockFlagCompressed {
 			stats.BlocksCompressed++
 		}
@@ -220,19 +396,19 @@ recvLoop:
 		}
 	}
 	<-done
-	stats.DecompressWall = decompWall
+	stats.DecompressWall += decompWall
 
 	if recvErr != nil {
-		return nil, stats, recvErr
+		return out, false, recvErr
 	}
 	if uint64(len(out)) != hdr.RawSize {
-		return nil, stats, fmt.Errorf("%w: got %d bytes, header says %d", ErrProtocol, len(out), hdr.RawSize)
+		return out, false, fmt.Errorf("%w: got %d bytes, header says %d", ErrProtocol, len(out), hdr.RawSize)
 	}
 	if crcOf(out) != wantCRC {
-		return nil, stats, fmt.Errorf("%w: content CRC mismatch", ErrProtocol)
+		// Every block passed its frame CRC, so a whole-content mismatch
+		// means the pieces come from different file generations: poison
+		// the resume state before retrying.
+		return nil, true, fmt.Errorf("%w: content CRC mismatch", ErrProtocol)
 	}
-	stats.RawBytes = len(out)
-	stats.WireBytes += 10 + 9 // response header + end frame
-	stats.Factor = codec.Factor(stats.RawBytes, stats.WireBytes)
-	return out, stats, nil
+	return out, false, nil
 }

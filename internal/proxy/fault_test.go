@@ -1,0 +1,233 @@
+package proxy
+
+import (
+	"bytes"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/proxy/faultconn"
+	"repro/internal/workload"
+)
+
+// retryingClient returns a client tuned for a hostile link: generous retry
+// budget, fast backoff so tests stay quick, and a hard per-attempt
+// deadline so nothing can hang.
+func retryingClient(addr string) *Client {
+	cli := NewClient(addr)
+	cli.Timeout = 10 * time.Second
+	cli.MaxRetries = 40
+	cli.RetryBaseDelay = time.Millisecond
+	cli.RetryMaxDelay = 20 * time.Millisecond
+	return cli
+}
+
+// TestFetchCompletesUnderFaults is the acceptance stress test: with a
+// seeded fault plan injecting delays, fragmented writes, resets,
+// truncations and bit-flips at a 1% per-operation rate on every server
+// connection, the retrying/resuming client must complete every fetch with
+// CRC-verified content, and the server must shut down without goroutine
+// leaks. Run under -race by scripts/ci.sh.
+func TestFetchCompletesUnderFaults(t *testing.T) {
+	plan := faultconn.Plan{
+		Seed:         42,
+		DelayProb:    0.05,
+		MaxDelay:     200 * time.Microsecond,
+		FragmentProb: 0.20,
+		ResetProb:    0.01,
+		TruncateProb: 0.01,
+		BitFlipProb:  0.01,
+	}
+	srv := NewServerWith(nil, Config{
+		WrapConn:    plan.Wrapper(),
+		ReadTimeout: 2 * time.Second,
+	})
+	files := map[string][]byte{
+		"small.txt": workload.Generate(workload.ClassMail, 5_000, 1),
+		"mid.xml":   workload.Generate(workload.ClassHTML, 300_000, 2),
+		"big.bin":   workload.Generate(workload.ClassMail, 700_000, 3),
+	}
+	for name, content := range files {
+		srv.Register(name, content)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	cli := retryingClient(addr)
+	modes := []Mode{ModeRaw, ModeOnDemand, ModeSelective}
+	fetches, retried := 0, 0
+	for rep := 0; rep < 3; rep++ {
+		for name, content := range files {
+			for _, mode := range modes {
+				got, stats, err := cli.Fetch(name, codec.Gzip, mode)
+				if err != nil {
+					t.Fatalf("rep %d %s %v: %v (attempts %d)", rep, name, mode, err, stats.Attempts)
+				}
+				if !bytes.Equal(got, content) {
+					t.Fatalf("rep %d %s %v: content mismatch (%d vs %d bytes)", rep, name, mode, len(got), len(content))
+				}
+				fetches++
+				if stats.Attempts > 1 {
+					retried++
+				}
+			}
+		}
+	}
+	if retried == 0 {
+		t.Errorf("fault plan never fired across %d fetches; the test is not exercising retries", fetches)
+	}
+	t.Logf("%d fetches completed, %d needed retries", fetches, retried)
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Goroutine-leak check: allow the runtime a moment to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 64<<10)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// cutConn delivers only the first `budget` bytes written through it, then
+// kills the connection — a deterministic mid-stream truncation.
+type cutConn struct {
+	net.Conn
+	budget int
+}
+
+func (c *cutConn) Write(b []byte) (int, error) {
+	if c.budget <= 0 {
+		c.Conn.Close()
+		return 0, faultconn.ErrInjectedReset
+	}
+	if len(b) > c.budget {
+		n, _ := c.Conn.Write(b[:c.budget])
+		c.budget = 0
+		c.Conn.Close()
+		return n, faultconn.ErrInjectedReset
+	}
+	c.budget -= len(b)
+	return c.Conn.Write(b)
+}
+
+// TestFetchResumesAfterTruncation: the first connection dies mid-block 2;
+// the retry must resume at the block boundary (128 000 raw bytes) rather
+// than refetch from zero, and the assembled content must verify.
+func TestFetchResumesAfterTruncation(t *testing.T) {
+	content := workload.Generate(workload.ClassHTML, 400_000, 7)
+	var conns atomic.Int64
+	// Cut the first connection mid-way through the second block's payload;
+	// later connections are untouched.
+	cut := getHeaderLen + blockHeaderLen + 128_000 + blockHeaderLen + 1_000
+	srv := NewServerWith(nil, Config{
+		WrapConn: func(conn net.Conn) net.Conn {
+			if conns.Add(1) == 1 {
+				return &cutConn{Conn: conn, budget: cut}
+			}
+			return conn
+		},
+	})
+	srv.Register("f", content)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli := retryingClient(addr)
+	got, stats, err := cli.Fetch("f", codec.Gzip, ModeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("resumed content mismatch")
+	}
+	if stats.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", stats.Attempts)
+	}
+	if stats.ResumedBytes != 128_000 {
+		t.Errorf("resumed %d bytes, want 128000 (one verified block)", stats.ResumedBytes)
+	}
+}
+
+// TestFetchRetriesBusy: the ErrBusy contract ("safe to retry") is now
+// honored — a fetch that lands on a saturated server succeeds once the
+// slot frees up.
+func TestFetchRetriesBusy(t *testing.T) {
+	content := workload.Generate(workload.ClassMail, 10_000, 9)
+	srv := NewServerWith(nil, Config{MaxConns: 1})
+	srv.Register("f", content)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Occupy the single connection slot with a client that says nothing,
+	// then release it shortly after the fetch starts retrying.
+	hog, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		hog.Close()
+	}()
+
+	cli := retryingClient(addr)
+	cli.RetryBaseDelay = 10 * time.Millisecond
+	got, stats, err := cli.Fetch("f", codec.Gzip, ModeSelective)
+	if err != nil {
+		t.Fatalf("fetch through busy server: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch")
+	}
+	if stats.Attempts < 2 {
+		t.Errorf("attempts = %d, want ≥ 2 (first should hit ErrBusy)", stats.Attempts)
+	}
+}
+
+// TestListRetriesBusy: List honors the same retry contract.
+func TestListRetriesBusy(t *testing.T) {
+	srv := NewServerWith(nil, Config{MaxConns: 1})
+	srv.Register("f", []byte("x"))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hog, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		hog.Close()
+	}()
+
+	cli := retryingClient(addr)
+	cli.RetryBaseDelay = 10 * time.Millisecond
+	names, err := cli.List()
+	if err != nil {
+		t.Fatalf("list through busy server: %v", err)
+	}
+	if len(names) != 1 || names[0] != "f" {
+		t.Fatalf("names = %v", names)
+	}
+}

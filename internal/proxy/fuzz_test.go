@@ -10,15 +10,21 @@ import (
 // produce errors, never a panic or an over-allocation; frames the parser
 // accepts must survive a write/read round trip unchanged.
 func FuzzReadRequest(f *testing.F) {
-	// Well-formed GET and LIST requests.
-	f.Add([]byte("PXY1\x02\x00\x07doc.xml\x01\x03"))
-	f.Add([]byte("PXY1\x01\x00\x00\x00\x00"))
-	// Bad magic, truncation at every interesting boundary, oversized name.
-	f.Add([]byte("QXY1\x02\x00\x07doc.xml\x01\x03"))
-	f.Add([]byte("PXY1"))
-	f.Add([]byte("PXY1\x02"))
-	f.Add([]byte("PXY1\x02\x00\x07doc"))
-	f.Add([]byte("PXY1\x02\xff\xff"))
+	// Well-formed GET (with a resume offset) and LIST requests, built by
+	// the writer so their trailing CRCs are valid.
+	var get, list bytes.Buffer
+	_ = writeRequest(&get, request{Op: opGet, Name: "doc.xml", Scheme: 1, Mode: ModeSelective, Offset: 128_000})
+	_ = writeRequest(&list, request{Op: opList})
+	f.Add(get.Bytes())
+	f.Add(list.Bytes())
+	// Bad magic, bad CRC, truncation at every interesting boundary,
+	// oversized name.
+	f.Add([]byte("QXY2\x02\x00\x07doc.xml\x01\x03"))
+	f.Add(append(get.Bytes()[:get.Len()-1], 0xAA)) // last CRC byte flipped
+	f.Add([]byte("PXY2"))
+	f.Add([]byte("PXY2\x02"))
+	f.Add([]byte("PXY2\x02\x00\x07doc"))
+	f.Add([]byte("PXY2\x02\xff\xff"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -44,18 +50,27 @@ func FuzzReadRequest(f *testing.F) {
 }
 
 // FuzzReadBlockFrame does the same for the block framing: oversized
-// payload lengths must be refused before allocation, unknown flags must
-// error, and accepted frames must round-trip.
+// payload or raw lengths must be refused before allocation, unknown flags
+// and payload-CRC mismatches must error, and accepted frames must
+// round-trip.
 func FuzzReadBlockFrame(f *testing.F) {
-	// Raw block, compressed block, end frame.
-	f.Add([]byte("\x00\x00\x00\x00\x05\x00\x00\x00\x05hello"))
-	f.Add([]byte("\x01\x00\x00\x01\x00\x00\x00\x00\x04zzzz"))
-	f.Add([]byte("\xff\xde\xad\xbe\xef\x00\x00\x00\x00"))
-	// Oversized payload length, bad flag, truncated header and payload.
-	f.Add([]byte("\x01\x00\x00\x00\x00\xff\xff\xff\xff"))
-	f.Add([]byte("\x07\x00\x00\x00\x00\x00\x00\x00\x00"))
+	// Raw block, compressed block, end frame, built by the writers so the
+	// payload CRCs are valid.
+	var raw, comp, end bytes.Buffer
+	_ = writeBlock(&raw, wireBlock{Flag: blockFlagRaw, RawLen: 5, Payload: []byte("hello")})
+	_ = writeBlock(&comp, wireBlock{Flag: blockFlagCompressed, RawLen: 256, Payload: []byte("zzzz")})
+	_ = writeEnd(&end, 0xDEADBEEF)
+	f.Add(raw.Bytes())
+	f.Add(comp.Bytes())
+	f.Add(end.Bytes())
+	// Oversized payload length, oversized raw length, bad flag, corrupted
+	// payload (CRC mismatch), truncated header and payload.
+	f.Add([]byte("\x01\x00\x00\x00\x00\xff\xff\xff\xff\x00\x00\x00\x00"))
+	f.Add([]byte("\x01\xff\xff\xff\xff\x00\x00\x00\x04\x00\x00\x00\x00zzzz"))
+	f.Add([]byte("\x07\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add(append(raw.Bytes()[:raw.Len()-1], 'X'))
 	f.Add([]byte("\x00\x00\x00"))
-	f.Add([]byte("\x00\x00\x00\x00\x05\x00\x00\x00\x05he"))
+	f.Add(raw.Bytes()[:raw.Len()-2])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, crc, ok, err := readBlock(bytes.NewReader(data))

@@ -20,11 +20,17 @@ import (
 
 	"repro/internal/checksum"
 	"repro/internal/codec"
+	"repro/internal/selective"
 )
 
-// Protocol constants.
+// Protocol constants. PXY2 hardens the PXY1 framing for a lossy link: the
+// request and the GET response header carry a CRC-32 so a corrupted frame
+// is distinguishable from an honest answer, the request carries a resume
+// offset (and the response echoes the offset actually granted), and every
+// block frame carries a CRC-32 of its payload so a fetch can be resumed
+// from the last verified block.
 const (
-	protoMagic = "PXY1"
+	protoMagic = "PXY2"
 
 	opList = 0x01
 	opGet  = 0x02
@@ -45,6 +51,19 @@ const (
 	// maxBlockWire bounds a single block payload (a compressed 0.128 MB
 	// block can only be marginally larger than raw).
 	maxBlockWire = 1 << 21
+	// maxBlockRaw bounds a block's claimed decompressed size, mirroring
+	// maxBlockWire: the claim sizes the decompressor's output buffer, so
+	// it must be capped before any allocation happens.
+	maxBlockRaw = 1 << 21
+
+	// reqFixedLen is magic + op + name length.
+	reqFixedLen = 4 + 1 + 2
+	// reqTailLen is scheme + mode + offset + CRC, after the name.
+	reqTailLen = 1 + 1 + 8 + 4
+	// getHeaderLen is status + raw size + scheme + offset + CRC.
+	getHeaderLen = 1 + 8 + 1 + 8 + 4
+	// blockHeaderLen is flag + raw length + payload length + payload CRC.
+	blockHeaderLen = 1 + 4 + 4 + 4
 )
 
 // Mode is the transfer mode requested by the client.
@@ -90,12 +109,15 @@ var ErrNotFound = errors.New("proxy: file not found")
 // concurrent-connection cap; the request is safe to retry.
 var ErrBusy = errors.New("proxy: server busy")
 
-// request is the client->server GET message.
+// request is the client->server GET message. Offset asks the server to
+// resume the transfer at that raw-byte position; the server rounds it down
+// to a block boundary and echoes the granted offset in the response.
 type request struct {
 	Op     byte
 	Name   string
 	Scheme codec.Scheme
 	Mode   Mode
+	Offset uint64
 }
 
 func writeRequest(w io.Writer, req request) error {
@@ -103,7 +125,7 @@ func writeRequest(w io.Writer, req request) error {
 	if len(name) > maxNameLen {
 		return fmt.Errorf("%w: name too long", ErrProtocol)
 	}
-	buf := make([]byte, 0, len(protoMagic)+1+2+len(name)+2)
+	buf := make([]byte, 0, reqFixedLen+len(name)+reqTailLen)
 	buf = append(buf, protoMagic...)
 	buf = append(buf, req.Op)
 	var n16 [2]byte
@@ -111,12 +133,20 @@ func writeRequest(w io.Writer, req request) error {
 	buf = append(buf, n16[:]...)
 	buf = append(buf, name...)
 	buf = append(buf, byte(req.Scheme), byte(req.Mode))
+	var off [8]byte
+	binary.BigEndian.PutUint64(off[:], req.Offset)
+	buf = append(buf, off[:]...)
+	// The CRC covers everything after the magic, so a bit-flipped request
+	// is rejected server-side instead of fetching the wrong file.
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crcOf(buf[len(protoMagic):]))
+	buf = append(buf, crc[:]...)
 	_, err := w.Write(buf)
 	return err
 }
 
 func readRequest(r io.Reader) (request, error) {
-	hdr := make([]byte, len(protoMagic)+1+2)
+	hdr := make([]byte, reqFixedLen)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return request{}, err
 	}
@@ -128,41 +158,58 @@ func readRequest(r io.Reader) (request, error) {
 	if nameLen > maxNameLen {
 		return request{}, fmt.Errorf("%w: name length %d", ErrProtocol, nameLen)
 	}
-	rest := make([]byte, nameLen+2)
+	rest := make([]byte, nameLen+reqTailLen)
 	if _, err := io.ReadFull(r, rest); err != nil {
 		return request{}, fmt.Errorf("%w: truncated request: %v", ErrProtocol, err)
 	}
-	req.Name = string(rest[:nameLen])
-	req.Scheme = codec.Scheme(rest[nameLen])
-	req.Mode = Mode(rest[nameLen+1])
+	body := rest[:len(rest)-4]
+	wantCRC := binary.BigEndian.Uint32(rest[len(rest)-4:])
+	sum := checksum.UpdateCRC32(checksum.CRC32(hdr[len(protoMagic):]), body)
+	if sum != wantCRC {
+		return request{}, fmt.Errorf("%w: request CRC mismatch", ErrProtocol)
+	}
+	req.Name = string(body[:nameLen])
+	req.Scheme = codec.Scheme(body[nameLen])
+	req.Mode = Mode(body[nameLen+1])
+	req.Offset = binary.BigEndian.Uint64(body[nameLen+2:])
 	return req, nil
 }
 
-// getHeader is the server->client GET response header.
+// getHeader is the server->client GET response header. Offset is the
+// resume position granted by the server (always a block boundary, never
+// past the requested offset); the CRC lets the client tell a corrupted
+// header from an honest status byte.
 type getHeader struct {
 	Status  byte
 	RawSize uint64
 	Scheme  codec.Scheme
+	Offset  uint64
 }
 
 func writeGetHeader(w io.Writer, h getHeader) error {
-	var buf [10]byte
+	var buf [getHeaderLen]byte
 	buf[0] = h.Status
 	binary.BigEndian.PutUint64(buf[1:9], h.RawSize)
 	buf[9] = byte(h.Scheme)
+	binary.BigEndian.PutUint64(buf[10:18], h.Offset)
+	binary.BigEndian.PutUint32(buf[18:22], crcOf(buf[:18]))
 	_, err := w.Write(buf[:])
 	return err
 }
 
 func readGetHeader(r io.Reader) (getHeader, error) {
-	var buf [10]byte
+	var buf [getHeaderLen]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return getHeader{}, fmt.Errorf("%w: truncated header: %v", ErrProtocol, err)
+	}
+	if crcOf(buf[:18]) != binary.BigEndian.Uint32(buf[18:22]) {
+		return getHeader{}, fmt.Errorf("%w: header CRC mismatch", ErrProtocol)
 	}
 	return getHeader{
 		Status:  buf[0],
 		RawSize: binary.BigEndian.Uint64(buf[1:9]),
 		Scheme:  codec.Scheme(buf[9]),
+		Offset:  binary.BigEndian.Uint64(buf[10:18]),
 	}, nil
 }
 
@@ -174,10 +221,11 @@ type wireBlock struct {
 }
 
 func writeBlock(w io.Writer, b wireBlock) error {
-	var hdr [9]byte
+	var hdr [blockHeaderLen]byte
 	hdr[0] = b.Flag
 	binary.BigEndian.PutUint32(hdr[1:5], b.RawLen)
 	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(b.Payload)))
+	binary.BigEndian.PutUint32(hdr[9:13], crcOf(b.Payload))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -190,7 +238,7 @@ func writeBlock(w io.Writer, b wireBlock) error {
 }
 
 func writeEnd(w io.Writer, crc uint32) error {
-	var hdr [9]byte
+	var hdr [blockHeaderLen]byte
 	hdr[0] = blockFlagEnd
 	binary.BigEndian.PutUint32(hdr[1:5], crc)
 	_, err := w.Write(hdr[:])
@@ -198,9 +246,12 @@ func writeEnd(w io.Writer, crc uint32) error {
 }
 
 // readBlock returns the next block, or ok=false with the trailing CRC when
-// the end marker is reached.
+// the end marker is reached. Both length fields are bounded before any
+// allocation, and the payload must match its frame CRC — a block that
+// readBlock accepts is verified, which is what makes resume offsets safe
+// to trust.
 func readBlock(r io.Reader) (b wireBlock, crc uint32, ok bool, err error) {
-	var hdr [9]byte
+	var hdr [blockHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return wireBlock{}, 0, false, fmt.Errorf("%w: truncated block: %v", ErrProtocol, err)
 	}
@@ -213,12 +264,15 @@ func readBlock(r io.Reader) (b wireBlock, crc uint32, ok bool, err error) {
 	b.Flag = hdr[0]
 	b.RawLen = binary.BigEndian.Uint32(hdr[1:5])
 	payLen := binary.BigEndian.Uint32(hdr[5:9])
-	if payLen > maxBlockWire {
-		return wireBlock{}, 0, false, fmt.Errorf("%w: block of %d bytes", ErrProtocol, payLen)
+	if err := selective.CheckWireLens(b.RawLen, payLen, maxBlockRaw, maxBlockWire); err != nil {
+		return wireBlock{}, 0, false, fmt.Errorf("%w: %v", ErrProtocol, err)
 	}
 	b.Payload = make([]byte, payLen)
 	if _, err := io.ReadFull(r, b.Payload); err != nil {
 		return wireBlock{}, 0, false, fmt.Errorf("%w: truncated payload: %v", ErrProtocol, err)
+	}
+	if crcOf(b.Payload) != binary.BigEndian.Uint32(hdr[9:13]) {
+		return wireBlock{}, 0, false, fmt.Errorf("%w: block payload CRC mismatch", ErrProtocol)
 	}
 	return b, 0, true, nil
 }

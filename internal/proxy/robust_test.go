@@ -104,7 +104,7 @@ func TestServerRejectsOverlongName(t *testing.T) {
 	addr, _ := robustServer(t)
 	conn := dialRaw(t, addr)
 	// Hand-craft a request with nameLen = 0xFFFF.
-	frame := append([]byte("PXY1"), opGet, 0xFF, 0xFF)
+	frame := append([]byte(protoMagic), opGet, 0xFF, 0xFF)
 	if _, err := conn.Write(frame); err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestClientRejectsOversizedBlockFrame(t *testing.T) {
 		}
 		_ = writeGetHeader(conn, getHeader{Status: statusOK, RawSize: 100, Scheme: codec.Gzip})
 		// Block frame with a payload length over the cap.
-		var hdr [9]byte
+		var hdr [blockHeaderLen]byte
 		hdr[0] = blockFlagCompressed
 		hdr[5] = 0xFF
 		hdr[6] = 0xFF
@@ -151,6 +151,7 @@ func TestClientRejectsOversizedBlockFrame(t *testing.T) {
 		_, _ = io.Copy(io.Discard, conn)
 	}()
 	cli := NewClient(ln.Addr().String())
+	cli.Timeout = 10 * time.Second
 	if _, _, err := cli.Fetch("x", codec.Gzip, ModeRaw); err == nil {
 		t.Fatal("oversized block frame accepted")
 	}

@@ -39,6 +39,11 @@ type Config struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds serving the whole response. 0 selects 2m.
 	WriteTimeout time.Duration
+	// WrapConn, when set, wraps every accepted connection before the
+	// server touches it. It is the hook the fault-injection transport
+	// (internal/proxy/faultconn) plugs into, so the whole stack can be
+	// exercised over a deliberately hostile link.
+	WrapConn func(net.Conn) net.Conn
 }
 
 func (c Config) withDefaults() Config {
@@ -305,6 +310,9 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if s.cfg.WrapConn != nil {
+			conn = s.cfg.WrapConn(conn)
+		}
 		select {
 		case s.connSem <- struct{}{}:
 		default:
@@ -439,14 +447,24 @@ func (s *Server) handleGet(bw *bufio.Writer, req request) error {
 	if err != nil {
 		return err
 	}
+	// Resume: grant the largest block boundary at or below the requested
+	// offset and serve from there. Block boundaries are deterministic per
+	// (file, scheme, mode), so a client that verified N raw bytes on a
+	// previous attempt is handed exactly the blocks it is missing.
+	start, granted := 0, uint64(0)
+	for start < len(blocks) && granted+uint64(blocks[start].RawLen) <= req.Offset {
+		granted += uint64(blocks[start].RawLen)
+		start++
+	}
 	if err := writeGetHeader(bw, getHeader{
 		Status:  statusOK,
 		RawSize: uint64(len(content)),
 		Scheme:  req.Scheme,
+		Offset:  granted,
 	}); err != nil {
 		return err
 	}
-	for _, b := range blocks {
+	for _, b := range blocks[start:] {
 		flag := byte(blockFlagRaw)
 		if b.Compressed {
 			flag = blockFlagCompressed

@@ -35,6 +35,7 @@ import (
 	"repro/internal/flate"
 	"repro/internal/pipeline"
 	"repro/internal/proxy"
+	"repro/internal/proxy/faultconn"
 	"repro/internal/selective"
 	"repro/internal/session"
 	"repro/internal/wlan"
@@ -200,6 +201,13 @@ func NewProxyServerWith(decider SelectiveDecider, cfg ProxyConfig) *ProxyServer 
 
 // NewProxyClient returns a client for the proxy at addr.
 func NewProxyClient(addr string) *ProxyClient { return proxy.NewClient(addr) }
+
+// FaultPlan is a seeded, deterministic fault-injection schedule for the
+// proxy wire path: injected delays, fragmented writes, mid-stream resets,
+// truncation and payload bit-flips. Install one on a server via
+// ProxyConfig.WrapConn (plan.Wrapper()) to model the paper's lossy
+// 802.11b link instead of a loopback that never fails.
+type FaultPlan = faultconn.Plan
 
 // FileSpec describes one corpus file from the paper's Table 2.
 type FileSpec = workload.FileSpec

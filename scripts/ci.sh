@@ -1,13 +1,35 @@
 #!/usr/bin/env sh
-# CI gate: vet + build + full test suite under the race detector, then a
-# short fuzz pass over both PXY1 wire-format parsers. Every change to the
-# proxy dataplane must keep this green.
+# CI gate: vet + lint + build + full test suite under the race detector
+# (which includes the fault-injection stress test and the malicious-server
+# suite), then an explicit race-mode pass over the hostile-wire tests and a
+# short fuzz pass over both PXY2 wire-format parsers. Every change to the
+# proxy dataplane or wire path must keep this green.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
+
+# Optional linters: run them when the host has them, skip cleanly when it
+# does not (the gate must not install anything).
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./...
+else
+	echo "govulncheck not installed; skipping"
+fi
+
 go build ./...
 go test -race ./...
+
+# The hostile-wire gate: the retrying/resuming client must complete every
+# fetch CRC-clean under the seeded fault plan, and lying servers must never
+# provoke a panic, hang or attacker-sized allocation — all under -race.
+go test -race -run 'TestFetchCompletesUnderFaults|TestFetchResumes|TestMalicious' ./internal/proxy
+
 go test -run='^$' -fuzz=FuzzReadRequest -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzReadBlockFrame -fuzztime=10s ./internal/proxy
