@@ -131,7 +131,7 @@ func (c *Client) dial() (net.Conn, error) {
 // FetchStats reports what crossed the wire.
 type FetchStats struct {
 	RawBytes         int
-	WireBytes        int // block payloads + framing, summed across attempts
+	WireBytes        int // frames actually received (headers, blocks, end frames), summed across attempts
 	BlocksTotal      int
 	BlocksCompressed int
 	Factor           float64
@@ -234,7 +234,6 @@ func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, Fet
 		out, reset, err := c.fetchOnce(name, scheme, mode, verified, &stats)
 		if err == nil {
 			stats.RawBytes = len(out)
-			stats.WireBytes += stats.Attempts * (getHeaderLen + blockHeaderLen) // response headers + end frames
 			stats.Factor = codec.Factor(stats.RawBytes, stats.WireBytes)
 			return out, stats, nil
 		}
@@ -273,6 +272,10 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, verified
 	if err != nil {
 		return out, false, err
 	}
+	// Frame bytes are accounted where they are actually read: an attempt
+	// that died at dial or mid-header contributes nothing, so WireBytes
+	// stays honest across retries.
+	stats.WireBytes += getHeaderLen
 	// The header survived its CRC, so its status and fields are the
 	// server's honest answer: size/scheme violations are permanent, not
 	// link damage.
@@ -355,6 +358,13 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, verified
 			return d.err
 		}
 		out = append(out, d.data...)
+		// readBlock guarantees a raw block's payload matches its RawLen and
+		// the decompressor checks the same for compressed blocks, so the
+		// rawPromised budget already bounds this; re-check here so the
+		// memory guarantee does not depend on code in another file.
+		if uint64(len(out)) > hdr.RawSize {
+			return fmt.Errorf("%w: %d raw bytes received, header says %d", ErrProtocol, len(out), hdr.RawSize)
+		}
 		return nil
 	}
 
@@ -367,6 +377,7 @@ recvLoop:
 		}
 		if !ok {
 			wantCRC = crc
+			stats.WireBytes += blockHeaderLen // end frame
 			break recvLoop
 		}
 		rawPromised += uint64(b.RawLen)

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"bufio"
 	"bytes"
 	"net"
 	"runtime"
@@ -161,6 +162,63 @@ func TestFetchResumesAfterTruncation(t *testing.T) {
 	}
 	if stats.ResumedBytes != 128_000 {
 		t.Errorf("resumed %d bytes, want 128000 (one verified block)", stats.ResumedBytes)
+	}
+	// Attempt 1 received the header and one full block (block 2's frame
+	// died mid-payload, so it does not count); attempt 2 received a header,
+	// the three remaining blocks, and the end frame. Nothing else.
+	if want := 2*getHeaderLen + 5*blockHeaderLen + len(content); stats.WireBytes != want {
+		t.Errorf("WireBytes = %d, want %d (only frames actually received)", stats.WireBytes, want)
+	}
+}
+
+// TestEndFrameCorruptionPreservesResume: a bit-flip in the terminal
+// frame's content-CRC field must read as transient link damage — the end
+// frame carries a CRC over its own header — not as "the file changed", so
+// the retry resumes from the fully verified prefix instead of starting
+// over.
+func TestEndFrameCorruptionPreservesResume(t *testing.T) {
+	content := workload.Generate(workload.ClassHTML, 2_000, 11)
+	const blockSize = 500
+	var conns atomic.Int64
+	addr := maliciousServer(t, func(conn net.Conn) {
+		first := conns.Add(1) == 1
+		req, err := readRequest(bufio.NewReader(conn))
+		if err != nil {
+			return
+		}
+		if err := writeGetHeader(conn, getHeader{Status: statusOK, RawSize: uint64(len(content)), Scheme: codec.Gzip, Offset: req.Offset}); err != nil {
+			return
+		}
+		for i := int(req.Offset); i < len(content); i += blockSize {
+			end := i + blockSize
+			if end > len(content) {
+				end = len(content)
+			}
+			if err := writeBlock(conn, wireBlock{Flag: blockFlagRaw, RawLen: uint32(end - i), Payload: content[i:end]}); err != nil {
+				return
+			}
+		}
+		var endFrame bytes.Buffer
+		_ = writeEnd(&endFrame, crcOf(content))
+		frame := endFrame.Bytes()
+		if first {
+			frame[2] ^= 0x40 // flip one bit inside the content-CRC field
+		}
+		_, _ = conn.Write(frame)
+	})
+	cli := retryingClient(addr)
+	got, stats, err := cli.Fetch("f", codec.Gzip, ModeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch")
+	}
+	if stats.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", stats.Attempts)
+	}
+	if stats.ResumedBytes != len(content) {
+		t.Errorf("resumed %d bytes, want %d (every block was verified before the bad end frame)", stats.ResumedBytes, len(content))
 	}
 }
 

@@ -144,6 +144,34 @@ func TestMaliciousOverpromisedBlocks(t *testing.T) {
 	}
 }
 
+// TestMaliciousRawBlockLenMismatch: raw-flag blocks whose payload length
+// disagrees with the claimed RawLen must be refused at the frame boundary.
+// Before this check, RawLen=0 blocks with near-cap payloads advanced the
+// rawPromised budget by zero while appending megabytes per block — an
+// unbounded-memory bypass of MaxFetchBytes.
+func TestMaliciousRawBlockLenMismatch(t *testing.T) {
+	big := make([]byte, maxBlockWire-1)
+	addr := maliciousServer(t, func(conn net.Conn) {
+		if !consumeRequest(conn) {
+			return
+		}
+		_ = writeGetHeader(conn, getHeader{Status: statusOK, RawSize: 1 << 20, Scheme: codec.Gzip})
+		// Each frame claims zero raw bytes but carries ~2 MiB.
+		for i := 0; i < 64; i++ {
+			if err := writeBlock(conn, wireBlock{Flag: blockFlagRaw, RawLen: 0, Payload: big}); err != nil {
+				return
+			}
+		}
+	})
+	err, allocated := fetchAllocDelta(t, hardenedClient(addr))
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+	if allocated > 16<<20 {
+		t.Errorf("allocated %d bytes for RawLen-lying raw blocks", allocated)
+	}
+}
+
 // TestMaliciousGarbageBlockCRC: a corrupted payload CRC fails the frame
 // check, not the decompressor.
 func TestMaliciousGarbageBlockCRC(t *testing.T) {

@@ -237,10 +237,16 @@ func writeBlock(w io.Writer, b wireBlock) error {
 	return nil
 }
 
+// writeEnd emits the terminal frame. The content CRC it carries is itself
+// covered by a CRC over the frame header: without that, a bit-flip in the
+// content-CRC field would be indistinguishable from the file having
+// changed between attempts, and the client would wrongly discard its
+// verified resume prefix.
 func writeEnd(w io.Writer, crc uint32) error {
 	var hdr [blockHeaderLen]byte
 	hdr[0] = blockFlagEnd
 	binary.BigEndian.PutUint32(hdr[1:5], crc)
+	binary.BigEndian.PutUint32(hdr[9:13], crcOf(hdr[:9]))
 	_, err := w.Write(hdr[:])
 	return err
 }
@@ -256,6 +262,9 @@ func readBlock(r io.Reader) (b wireBlock, crc uint32, ok bool, err error) {
 		return wireBlock{}, 0, false, fmt.Errorf("%w: truncated block: %v", ErrProtocol, err)
 	}
 	if hdr[0] == blockFlagEnd {
+		if crcOf(hdr[:9]) != binary.BigEndian.Uint32(hdr[9:13]) {
+			return wireBlock{}, 0, false, fmt.Errorf("%w: end frame CRC mismatch", ErrProtocol)
+		}
 		return wireBlock{}, binary.BigEndian.Uint32(hdr[1:5]), false, nil
 	}
 	if hdr[0] != blockFlagRaw && hdr[0] != blockFlagCompressed {
@@ -266,6 +275,13 @@ func readBlock(r io.Reader) (b wireBlock, crc uint32, ok bool, err error) {
 	payLen := binary.BigEndian.Uint32(hdr[5:9])
 	if err := selective.CheckWireLens(b.RawLen, payLen, maxBlockRaw, maxBlockWire); err != nil {
 		return wireBlock{}, 0, false, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	// A raw block's payload IS its raw bytes, so the two lengths must
+	// agree. Enforcing that here keeps the per-block RawLen claims an
+	// honest budget: downstream, the sum of accepted RawLens bounds the
+	// bytes that can reach the output buffer.
+	if b.Flag == blockFlagRaw && payLen != b.RawLen {
+		return wireBlock{}, 0, false, fmt.Errorf("%w: raw block claims %d raw bytes but carries %d", ErrProtocol, b.RawLen, payLen)
 	}
 	b.Payload = make([]byte, payLen)
 	if _, err := io.ReadFull(r, b.Payload); err != nil {
