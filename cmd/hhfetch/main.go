@@ -7,9 +7,16 @@
 //
 //	hhfetch -addr 127.0.0.1:7070 -list
 //	hhfetch -addr 127.0.0.1:7070 -name nes96.xml -scheme gzip -mode selective -rate 11
+//	hhfetch -addr 127.0.0.1:7070 -name nes96.xml -trace
+//
+// With -trace, the fetch's phase timeline (dial, header, recv,
+// decompress, verify, plus backoff/resume on retries) prints as JSON
+// last; each phase carries the modeled joules attributed to it, and the
+// phase total equals the whole-transfer model estimate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,14 +45,25 @@ func run() error {
 		retries    = flag.Int("retries", 3, "retry budget for busy servers and transient link failures")
 		retryBase  = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
 		maxBytes   = flag.Int64("max-bytes", 0, "refuse transfers whose claimed size exceeds this (0 = 1 GiB default)")
+		trace      = flag.Bool("trace", false, "print the fetch's phase/energy span as JSON")
 	)
 	flag.Parse()
 
+	model, err := modelForRate(*rateMbps)
+	if err != nil {
+		return err
+	}
 	cli := repro.NewProxyClient(*addr)
 	cli.Timeout = *timeout
 	cli.MaxRetries = *retries
 	cli.RetryBaseDelay = *retryBase
 	cli.MaxFetchBytes = *maxBytes
+	cli.EnergyParams = &model
+	var tracer *repro.Tracer
+	if *trace {
+		tracer = repro.NewTracer(4)
+		cli.Tracer = tracer
+	}
 	if *list {
 		names, err := cli.List()
 		if err != nil {
@@ -86,16 +104,29 @@ func run() error {
 	fmt.Printf("blocks: %d total, %d compressed; host decompress wall %.3f ms\n",
 		stats.BlocksTotal, stats.BlocksCompressed, stats.DecompressWall.Seconds()*1000)
 
-	model, err := modelForRate(*rateMbps)
-	if err != nil {
-		return err
-	}
 	s := float64(stats.RawBytes) / 1e6
 	sc := float64(stats.WireBytes) / 1e6
 	plain := model.DownloadEnergy(s)
-	comp := model.InterleavedEnergy(s, sc)
+	// The same rule the client charges its trace span with: Eq. 3 when
+	// compressed blocks crossed the wire, Eq. 1 otherwise.
+	this := plain
+	if stats.BlocksCompressed > 0 {
+		this = model.InterleavedEnergy(s, sc)
+	}
 	fmt.Printf("iPAQ energy estimate at %.1f Mb/s: plain %.4f J, this transfer %.4f J (%.1f%% saving)\n",
-		*rateMbps, plain, comp, (1-comp/plain)*100)
+		*rateMbps, plain, this, (1-this/plain)*100)
+
+	if *trace {
+		spans := tracer.Snapshot()
+		if len(spans) > 0 {
+			span := spans[len(spans)-1]
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(span); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

@@ -8,15 +8,20 @@
 //	proxyd -addr 127.0.0.1:7070 -dir ./files -precompress gzip
 //	proxyd -addr 127.0.0.1:7070 -corpus -cache-bytes 134217728 -workers 8
 //	proxyd -addr 127.0.0.1:7070 -corpus -fault-rate 0.01 -fault-seed 42
+//	proxyd -addr 127.0.0.1:7070 -corpus -admin 127.0.0.1:9090 -log-level info
 //
 // SIGUSR1 prints a dataplane stats snapshot (cache hits/misses,
 // singleflight coalescing, bytes served, connection latency histogram);
-// the same report prints at shutdown.
+// the same report prints at shutdown. With -admin, the same counters are
+// served live over HTTP: /metrics (Prometheus text), /statsz (JSON),
+// /tracez (recent request spans), /healthz, and /debug/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,13 +49,20 @@ func run() error {
 		maxConns   = flag.Int("max-conns", 0, "max concurrent connections (0 = 256)")
 		faultRate  = flag.Float64("fault-rate", 0, "per-I/O fault probability for resets, truncations and bit-flips (0 disables injection)")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		adminAddr  = flag.String("admin", "", "serve the admin plane (/metrics, /statsz, /tracez, /healthz, /debug/pprof) on this address")
+		logLevel   = flag.String("log-level", "warn", "structured log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	logger, err := repro.NewStructuredLogger(os.Stderr, *logLevel)
+	if err != nil {
+		return err
+	}
 	cfg := repro.ProxyConfig{
 		CacheBytes: *cacheBytes,
 		Workers:    *workers,
 		MaxConns:   *maxConns,
+		Logger:     logger,
 	}
 	if *faultRate > 0 {
 		plan := repro.FaultPlan{
@@ -110,6 +122,17 @@ func run() error {
 		return err
 	}
 	fmt.Printf("proxyd serving %d files on %s\n", count, bound)
+
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return err
+		}
+		adminSrv := &http.Server{Handler: srv.AdminHandler()}
+		go func() { _ = adminSrv.Serve(ln) }()
+		defer adminSrv.Close()
+		fmt.Printf("admin listening on %s\n", ln.Addr())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)

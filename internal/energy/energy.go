@@ -162,6 +162,52 @@ func (p Params) InterleavedEnergy(s, sc float64) float64 {
 	return p.M*sc + p.Cs + td*p.Pd + ti1*p.Pi
 }
 
+// Breakdown attributes one transfer's modeled energy to the hardware that
+// spends it: RadioJ is receive plus communication start-up energy
+// (m·sc + cs), CPUJ is decompression energy (td·pd), and IdleJ is the
+// CPU-idle residual (pi·idle time not reclaimed by interleaving). The
+// three parts sum exactly to the corresponding whole-transfer equation,
+// which is what lets a phase-level trace carry per-phase joules whose
+// total equals the model's answer.
+type Breakdown struct {
+	RadioJ float64
+	CPUJ   float64
+	IdleJ  float64
+}
+
+// Total is the whole-transfer energy, the sum of the three parts.
+func (b Breakdown) Total() float64 { return b.RadioJ + b.CPUJ + b.IdleJ }
+
+// InterleavedBreakdown splits Eq. 3 — InterleavedEnergy(s, sc) — into its
+// radio, CPU and idle components. The identity
+//
+//	bd.RadioJ + bd.CPUJ + bd.IdleJ == InterleavedEnergy(s, sc)
+//
+// holds exactly (same floating-point terms, same order of combination).
+func (p Params) InterleavedBreakdown(s, sc float64) Breakdown {
+	if s <= 0 || sc <= 0 {
+		return Breakdown{}
+	}
+	tiPrime, ti1 := p.IdleSplit(s, sc)
+	td := p.DecompressTime(s, sc)
+	bd := Breakdown{RadioJ: p.M*sc + p.Cs, CPUJ: td * p.Pd}
+	if tiPrime > td {
+		bd.IdleJ = (tiPrime - td + ti1) * p.Pi
+	} else {
+		bd.IdleJ = ti1 * p.Pi
+	}
+	return bd
+}
+
+// DownloadBreakdown splits Eq. 1 — DownloadEnergy(s) — the same way; an
+// uncompressed transfer has no CPU component.
+func (p Params) DownloadBreakdown(s float64) Breakdown {
+	if s <= 0 {
+		return Breakdown{}
+	}
+	return Breakdown{RadioJ: p.M*s + p.Cs, IdleJ: p.IdleTime(s) * p.Pi}
+}
+
 // InterleavedTime returns the wall time of an interleaved compressed
 // download: the transfer time plus any decompression overhang beyond the
 // usable idle windows.

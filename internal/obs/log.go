@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a text-format slog logger writing to w at the given
+// level. It is the one place the repository configures logging, so every
+// component's output lines up (proxyd and hhfetch both route through it).
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library components so instrumented code can log unconditionally.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+// ParseLevel maps the CLI spellings to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q", s)
+	}
+}
+
+// ReqID renders a wire request ID the way every log line and span
+// attribute spells it, so a grep for one ID crosses the client/server
+// boundary.
+func ReqID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ReqIDAttr is the slog attribute carrying a request ID.
+func ReqIDAttr(id uint64) slog.Attr { return slog.String("req_id", ReqID(id)) }

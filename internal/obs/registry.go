@@ -1,0 +1,317 @@
+// Package obs is the repository's telemetry layer: a dependency-free
+// metrics registry (lock-cheap counters, gauges and fixed-bucket
+// histograms with Prometheus-text and JSON encoders), a span tracer that
+// keeps per-request phase timelines in a bounded ring buffer and lets each
+// finished span carry modeled joules — so a trace attributes radio vs CPU
+// energy exactly as the paper's model does — and structured-logging
+// helpers around log/slog with request-ID propagation.
+//
+// Every instrument is nil-safe: a nil *Counter, *Gauge, *Histogram, *Span
+// or *Tracer absorbs all operations, so hot paths can record telemetry
+// unconditionally and components that were never given a registry cost a
+// predictable nil check instead of a branch per call site.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All operations are a
+// single atomic; a nil counter absorbs everything.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0 for the Prometheus
+// exposition to stay meaningful; this is not enforced on the hot path).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution. Bucket i counts observations
+// v <= Bounds[i] (and > Bounds[i-1]); one extra overflow bucket counts
+// everything past the last bound. Observe is two atomics (bucket + sum),
+// never a lock.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v; len(bounds) is the overflow.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is one histogram's point-in-time state. Counts has
+// len(Bounds)+1 entries, the last being the overflow bucket; Count is the
+// sum of Counts, so "sum of buckets == count" holds by construction.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Help   string    `json:"help,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot materialises the histogram. The per-bucket loads are not a
+// single atomic cut, but Count is derived from the loaded buckets, so the
+// snapshot is always internally consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+		s.Count += s.Counts[i]
+	}
+	return s
+}
+
+// MetricSnapshot is one counter or gauge in a registry snapshot.
+type MetricSnapshot struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot is a point-in-time view of a whole registry, ready for the
+// Prometheus-text and JSON encoders. Slices are sorted by metric name.
+type Snapshot struct {
+	Counters   []MetricSnapshot    `json:"counters"`
+	Gauges     []MetricSnapshot    `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Registry owns named instruments. Get-or-create methods are safe for
+// concurrent use and idempotent: asking twice for the same name returns
+// the same instrument. Names must be Prometheus-compatible
+// ([a-zA-Z_][a-zA-Z0-9_]*); registering one name as two different kinds
+// panics, since that is a programming error no caller can recover from.
+type Registry struct {
+	mu     sync.RWMutex
+	counts map[string]*counterEntry
+	gauges map[string]*gaugeEntry
+	hists  map[string]*histEntry
+}
+
+type counterEntry struct {
+	help string
+	c    *Counter
+}
+
+type gaugeEntry struct {
+	help string
+	g    *Gauge
+}
+
+type histEntry struct {
+	help string
+	h    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*counterEntry),
+		gauges: make(map[string]*gaugeEntry),
+		hists:  make(map[string]*histEntry),
+	}
+}
+
+// checkName panics on names the Prometheus exposition format would reject.
+func checkName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
+	}
+}
+
+// checkKind panics when name is already registered as another kind.
+func (r *Registry) checkKind(name, want string) {
+	if _, ok := r.counts[name]; ok && want != "counter" {
+		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && want != "gauge" {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
+	}
+	if _, ok := r.hists[name]; ok && want != "histogram" {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil registries
+// return a nil counter, which absorbs all operations.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	checkName(name)
+	r.mu.RLock()
+	e, ok := r.counts[name]
+	r.mu.RUnlock()
+	if ok {
+		return e.c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.counts[name]; ok {
+		return e.c
+	}
+	r.checkKind(name, "counter")
+	e = &counterEntry{help: help, c: &Counter{}}
+	r.counts[name] = e
+	return e.c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	checkName(name)
+	r.mu.RLock()
+	e, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return e.g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.gauges[name]; ok {
+		return e.g
+	}
+	r.checkKind(name, "gauge")
+	e = &gaugeEntry{help: help, g: &Gauge{}}
+	r.gauges[name] = e
+	return e.g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given bucket upper bounds, which must be strictly increasing. Asking
+// again for an existing histogram ignores bounds and returns the original.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	checkName(name)
+	r.mu.RLock()
+	e, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return e.h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.hists[name]; ok {
+		return e.h
+	}
+	r.checkKind(name, "histogram")
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[name] = &histEntry{help: help, h: h}
+	return h
+}
+
+// Snapshot materialises every instrument, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, e := range r.counts {
+		s.Counters = append(s.Counters, MetricSnapshot{Name: name, Help: e.help, Value: e.c.Value()})
+	}
+	for name, e := range r.gauges {
+		s.Gauges = append(s.Gauges, MetricSnapshot{Name: name, Help: e.help, Value: e.g.Value()})
+	}
+	for name, e := range r.hists {
+		hs := e.h.Snapshot()
+		hs.Name, hs.Help = name, e.help
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

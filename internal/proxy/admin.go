@@ -1,0 +1,82 @@
+package proxy
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// adminStatsz is the /statsz document: the same Stats snapshot the
+// SIGUSR1 report prints (one source of truth), plus process-level context
+// an operator wants next to it.
+type adminStatsz struct {
+	Stats      Stats  `json:"stats"`
+	Goroutines int    `json:"goroutines"`
+	UptimeMS   int64  `json:"uptime_ms"`
+	StartedAt  string `json:"started_at"`
+}
+
+// AdminHandler returns the server's admin plane, served by proxyd's
+// -admin listener (and mountable anywhere an http.Handler fits):
+//
+//	/healthz       liveness: "ok" while the server has not been closed
+//	/metrics       Prometheus text exposition of the metrics registry
+//	/statsz        JSON Stats snapshot — the same snapshot SIGUSR1 prints
+//	/tracez        JSON array of recent request spans, oldest first
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// The handler holds no locks across requests and reads the same atomics
+// the dataplane writes, so scraping it is safe under full load.
+func (s *Server) AdminHandler() http.Handler {
+	started := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-s.closed:
+			http.Error(w, "closing", http.StatusServiceUnavailable)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte("ok\n"))
+		}
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.refreshGauges()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, s.reg.Snapshot())
+	})
+
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		doc := adminStatsz{
+			Stats:      s.Stats(),
+			Goroutines: runtime.NumGoroutine(),
+			UptimeMS:   time.Since(started).Milliseconds(),
+			StartedAt:  started.UTC().Format(time.RFC3339),
+		}
+		writeAdminJSON(w, doc)
+	})
+
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		writeAdminJSON(w, s.tracer.Snapshot())
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+func writeAdminJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

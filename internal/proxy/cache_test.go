@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/selective"
 )
 
@@ -30,8 +31,8 @@ func TestCacheLRUEvictionOrder(t *testing.T) {
 	// Budget fits exactly three single-block entries of this shape.
 	name := "aaaa"
 	per := entrySize(key1(name), blocksOfSize(1000))
-	var m metrics
-	c := oneShardCache(3*per, &m)
+	m := newMetrics(obs.NewRegistry())
+	c := oneShardCache(3*per, m)
 
 	for _, n := range []string{"aaaa", "bbbb", "cccc"} {
 		c.put(key1(n), blocksOfSize(1000))
@@ -53,14 +54,14 @@ func TestCacheLRUEvictionOrder(t *testing.T) {
 			t.Errorf("%s evicted, want retained", n)
 		}
 	}
-	if got := m.evictions.Load(); got != 1 {
+	if got := m.evictions.Value(); got != 1 {
 		t.Errorf("evictions = %d, want 1", got)
 	}
 }
 
 func TestCacheByteAccounting(t *testing.T) {
-	var m metrics
-	c := oneShardCache(1<<20, &m)
+	m := newMetrics(obs.NewRegistry())
+	c := oneShardCache(1<<20, m)
 	want := int64(0)
 	for i := 0; i < 10; i++ {
 		k := key1(fmt.Sprintf("file%04d", i))
@@ -90,23 +91,23 @@ func TestCacheByteAccounting(t *testing.T) {
 }
 
 func TestCacheBudgetNeverExceeded(t *testing.T) {
-	var m metrics
+	m := newMetrics(obs.NewRegistry())
 	budget := int64(8 * 1024)
-	c := oneShardCache(budget, &m)
+	c := oneShardCache(budget, m)
 	for i := 0; i < 200; i++ {
 		c.put(key1(fmt.Sprintf("f%03d", i)), blocksOfSize(500+i))
 		if got := c.bytes(); got > budget {
 			t.Fatalf("after put %d: %d bytes > budget %d", i, got, budget)
 		}
 	}
-	if m.evictions.Load() == 0 {
+	if m.evictions.Value() == 0 {
 		t.Error("expected evictions under a tight budget")
 	}
 }
 
 func TestCacheRejectsOversizedArtifact(t *testing.T) {
-	var m metrics
-	c := oneShardCache(1024, &m)
+	m := newMetrics(obs.NewRegistry())
+	c := oneShardCache(1024, m)
 	c.put(key1("small"), blocksOfSize(100))
 	c.put(key1("huge"), blocksOfSize(10_000))
 	if _, ok := c.get(key1("huge")); ok {
@@ -115,7 +116,7 @@ func TestCacheRejectsOversizedArtifact(t *testing.T) {
 	if _, ok := c.get(key1("small")); !ok {
 		t.Error("oversized put evicted an unrelated resident entry")
 	}
-	if got := m.cacheRejects.Load(); got != 1 {
+	if got := m.cacheRejects.Value(); got != 1 {
 		t.Errorf("rejects = %d, want 1", got)
 	}
 }
@@ -166,9 +167,9 @@ func TestCacheShardDistribution(t *testing.T) {
 // filled — the server's double-check pattern), the leader's eventual put
 // must stay within budget, and every waiter must receive the built blocks.
 func TestCacheEvictionDuringSingleflight(t *testing.T) {
-	var m metrics
+	m := newMetrics(obs.NewRegistry())
 	budget := int64(4 * 1024)
-	c := oneShardCache(budget, &m)
+	c := oneShardCache(budget, m)
 	var g flightGroup
 
 	target := key1("contested")
@@ -235,7 +236,7 @@ func TestCacheEvictionDuringSingleflight(t *testing.T) {
 	if got := c.bytes(); got > budget {
 		t.Fatalf("budget exceeded after interleaved churn: %d > %d", got, budget)
 	}
-	if m.evictions.Load() == 0 {
+	if m.evictions.Value() == 0 {
 		t.Error("expected evictions during churn")
 	}
 }

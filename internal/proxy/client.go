@@ -6,11 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/selective"
 )
 
@@ -56,6 +60,68 @@ type Client struct {
 	// jitter in [d/2, d) to decorrelate retry storms.
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
+
+	// Tracer, when set, receives one span per Fetch: the phase timeline
+	// (dial, header, recv, decompress, verify, backoff, resume) across
+	// every attempt, charged with modeled joules on success so the trace
+	// shows radio vs CPU energy the way the paper's model splits it.
+	Tracer *obs.Tracer
+	// EnergyParams is the model used to charge finished fetch spans; nil
+	// selects the paper's 11 Mb/s parameters.
+	EnergyParams *energy.Params
+	// Metrics, when set, records the handheld-side instruments: backoff
+	// actually slept, resumed bytes, attempts per fetch, and the
+	// permanent-vs-transient error classification — the numbers that make
+	// a fault-rate run diagnosable without a debugger.
+	Metrics *obs.Registry
+	// Logger receives structured per-attempt logs tagged with the fetch's
+	// request ID (the same ID the server logs). Nil discards.
+	Logger *slog.Logger
+
+	metricsOnce sync.Once
+	cm          clientMetrics
+}
+
+// clientMetrics are the handheld-side instruments, resolved lazily from
+// Client.Metrics. All instruments are nil (and absorb everything) when no
+// registry is configured.
+type clientMetrics struct {
+	backoffSeconds  *obs.Histogram
+	resumedBytes    *obs.Histogram
+	attempts        *obs.Histogram
+	errorsTransient *obs.Counter
+	errorsPermanent *obs.Counter
+}
+
+// metrics resolves the instrument set on first use.
+func (c *Client) metrics() *clientMetrics {
+	c.metricsOnce.Do(func() {
+		reg := c.Metrics // nil registry hands out nil instruments
+		c.cm = clientMetrics{
+			backoffSeconds: reg.Histogram("client_backoff_sleep_seconds",
+				"Retry backoff actually slept, one sample per sleep.",
+				[]float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2, 5}),
+			resumedBytes: reg.Histogram("client_resumed_bytes",
+				"Raw bytes a retry attempt did not re-transfer, one sample per resumed attempt.",
+				[]float64{1 << 10, 16 << 10, 128 << 10, 1 << 20, 16 << 20, 256 << 20}),
+			attempts: reg.Histogram("client_fetch_attempts",
+				"Connections one Fetch call used (1 = no retries).",
+				[]float64{1, 2, 3, 5, 10, 20, 40}),
+			errorsTransient: reg.Counter("client_errors_transient_total",
+				"Attempt failures classified as link damage (retried)."),
+			errorsPermanent: reg.Counter("client_errors_permanent_total",
+				"Attempt failures classified as the server's honest answer (not retried)."),
+		}
+	})
+	return &c.cm
+}
+
+// logger returns the configured logger or a discard logger.
+func (c *Client) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return obs.NopLogger()
 }
 
 // NewClient returns a client for the proxy at addr.
@@ -140,6 +206,8 @@ type FetchStats struct {
 	// ResumedBytes counts raw bytes retry attempts did NOT re-transfer
 	// because the server granted a resume offset.
 	ResumedBytes int
+	// BackoffSlept is the total wall time spent sleeping between attempts.
+	BackoffSlept time.Duration
 	// DecompressWall is the wall time the decompression goroutine spent
 	// busy (host-machine time; energy accounting uses the simulator, not
 	// this number).
@@ -160,12 +228,24 @@ func (c *Client) List() ([]string, error) {
 
 // withRetries runs op, sleeping and re-running on transient failures.
 func (c *Client) withRetries(op func() error) error {
+	cm := c.metrics()
 	for attempt := 0; ; attempt++ {
 		err := op()
-		if err == nil || attempt >= c.MaxRetries || !isTransient(err) {
+		if err == nil {
+			return nil
+		}
+		transient := isTransient(err)
+		if transient {
+			cm.errorsTransient.Add(1)
+		} else {
+			cm.errorsPermanent.Add(1)
+		}
+		if attempt >= c.MaxRetries || !transient {
 			return err
 		}
+		start := time.Now()
 		time.Sleep(c.backoffDelay(attempt))
+		cm.backoffSeconds.Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -229,13 +309,33 @@ type decoded struct {
 func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, FetchStats, error) {
 	var stats FetchStats
 	var verified []byte
+	cm := c.metrics()
+	// The request ID is minted once per Fetch and shared by every retry
+	// attempt, so the server's logs and /tracez spans correlate all the
+	// connections one logical fetch opened.
+	reqID := rand.Uint64()
+	span := c.Tracer.Start("fetch")
+	span.SetAttr("req_id", obs.ReqID(reqID))
+	span.SetAttr("name", name)
+	span.SetAttr("scheme", scheme.String())
+	span.SetAttr("mode", mode.String())
+	log := c.logger().With("req_id", obs.ReqID(reqID), "name", name)
 	for attempt := 0; ; attempt++ {
 		stats.Attempts++
-		out, reset, err := c.fetchOnce(name, scheme, mode, verified, &stats)
+		out, reset, err := c.fetchOnce(name, scheme, mode, reqID, verified, &stats, span)
 		if err == nil {
 			stats.RawBytes = len(out)
 			stats.Factor = codec.Factor(stats.RawBytes, stats.WireBytes)
+			cm.attempts.Observe(float64(stats.Attempts))
+			c.chargeSpan(span, stats)
+			span.Finish()
 			return out, stats, nil
+		}
+		transient := isTransient(err)
+		if transient {
+			cm.errorsTransient.Add(1)
+		} else {
+			cm.errorsPermanent.Add(1)
 		}
 		if reset {
 			// Content-level CRC failure with frame-verified blocks: the
@@ -244,26 +344,72 @@ func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, Fet
 		} else {
 			verified = out
 		}
-		if attempt >= c.MaxRetries || !isTransient(err) {
+		if attempt >= c.MaxRetries || !transient {
+			cm.attempts.Observe(float64(stats.Attempts))
+			span.Fail(err)
+			span.Finish()
+			log.Warn("fetch failed", "attempts", stats.Attempts, "err", err)
 			return nil, stats, err
 		}
+		log.Debug("retrying after transient failure", "attempt", stats.Attempts, "err", err)
+		bstart := time.Now()
 		time.Sleep(c.backoffDelay(attempt))
+		slept := time.Since(bstart)
+		stats.BackoffSlept += slept
+		cm.backoffSeconds.Observe(slept.Seconds())
+		span.PhaseDetail("backoff", "", fmt.Sprintf("after attempt %d", stats.Attempts), bstart, slept, 0)
 	}
+}
+
+// chargeSpan attributes the finished transfer's modeled energy to the
+// span's phases: Eq. 3's interleaved model when compressed blocks crossed
+// the wire, Eq. 1's plain download otherwise (the same rule hhfetch's
+// energy report applies). Radio joules spread over the dial/header/recv
+// phases byte-weighted, CPU joules over decompress/verify
+// duration-weighted, and the idle residual lands in one accounting entry,
+// so the span's TotalJoules equals the model's whole-transfer answer
+// exactly (see energy.Breakdown).
+func (c *Client) chargeSpan(span *obs.Span, stats FetchStats) {
+	if span == nil {
+		return
+	}
+	p := c.EnergyParams
+	if p == nil {
+		def := energy.Params11Mbps()
+		p = &def
+	}
+	s := float64(stats.RawBytes) / 1e6
+	sc := float64(stats.WireBytes) / 1e6
+	var bd energy.Breakdown
+	if stats.BlocksCompressed > 0 {
+		bd = p.InterleavedBreakdown(s, sc)
+	} else {
+		bd = p.DownloadBreakdown(s)
+	}
+	span.DistributeJoules(obs.ClassRadio, bd.RadioJ)
+	span.DistributeJoules(obs.ClassCPU, bd.CPUJ)
+	span.AccountPhase("idle", obs.ClassIdle, bd.IdleJ)
 }
 
 // fetchOnce runs a single connection's worth of a fetch. verified is the
 // raw prefix already CRC-verified by earlier attempts; the returned slice
 // extends (a server-granted prefix of) it with this attempt's verified
 // blocks. reset reports that the caller must discard the resume state.
-func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, verified []byte, stats *FetchStats) (out []byte, reset bool, err error) {
+// Phases this attempt goes through are recorded on span (nil-safe), tagged
+// with the attempt number so a multi-attempt trace reads as a timeline.
+func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, reqID uint64, verified []byte, stats *FetchStats, span *obs.Span) (out []byte, reset bool, err error) {
+	attemptDetail := fmt.Sprintf("attempt %d", stats.Attempts)
 	out = verified
+	dialStart := time.Now()
 	conn, err := c.dial()
+	span.PhaseDetail("dial", obs.ClassRadio, attemptDetail, dialStart, time.Since(dialStart), 0)
 	if err != nil {
 		return out, false, err
 	}
 	defer conn.Close()
 
-	req := request{Op: opGet, Name: name, Scheme: scheme, Mode: mode, Offset: uint64(len(verified))}
+	hdrStart := time.Now()
+	req := request{Op: opGet, Name: name, Scheme: scheme, Mode: mode, Offset: uint64(len(verified)), ReqID: reqID}
 	if err := writeRequest(conn, req); err != nil {
 		return out, false, err
 	}
@@ -276,6 +422,7 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, verified
 	// that died at dial or mid-header contributes nothing, so WireBytes
 	// stays honest across retries.
 	stats.WireBytes += getHeaderLen
+	span.PhaseDetail("header", obs.ClassRadio, attemptDetail, hdrStart, time.Since(hdrStart), getHeaderLen)
 	// The header survived its CRC, so its status and fields are the
 	// server's honest answer: size/scheme violations are permanent, not
 	// link damage.
@@ -299,6 +446,10 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, verified
 	// after a re-registration); trim the resume prefix to what it granted.
 	out = verified[:hdr.Offset]
 	stats.ResumedBytes += int(hdr.Offset)
+	if hdr.Offset > 0 {
+		c.metrics().resumedBytes.Observe(float64(hdr.Offset))
+		span.PhaseDetail("resume", "", attemptDetail, time.Now(), 0, int64(hdr.Offset))
+	}
 
 	dec, err := codec.New(hdr.Scheme, 0)
 	if err != nil {
@@ -347,6 +498,8 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, verified
 	var wantCRC uint32
 	var recvErr error
 	pending := 0
+	recvStart := time.Now()
+	recvBytes := 0
 	// rawPromised tracks the raw bytes the accepted block headers have
 	// claimed so far; it may never exceed the header's total.
 	rawPromised := hdr.Offset
@@ -378,6 +531,7 @@ recvLoop:
 		if !ok {
 			wantCRC = crc
 			stats.WireBytes += blockHeaderLen // end frame
+			recvBytes += blockHeaderLen
 			break recvLoop
 		}
 		rawPromised += uint64(b.RawLen)
@@ -387,6 +541,7 @@ recvLoop:
 		}
 		stats.BlocksTotal++
 		stats.WireBytes += blockHeaderLen + len(b.Payload)
+		recvBytes += blockHeaderLen + len(b.Payload)
 		if b.Flag == blockFlagCompressed {
 			stats.BlocksCompressed++
 		}
@@ -408,6 +563,13 @@ recvLoop:
 	}
 	<-done
 	stats.DecompressWall += decompWall
+	span.PhaseDetail("recv", obs.ClassRadio, attemptDetail, recvStart, time.Since(recvStart), int64(recvBytes))
+	if decompWall > 0 {
+		// The decompressor goroutine runs concurrently with reception
+		// (Section 4.1's interleaving), so this phase overlaps recv: it
+		// starts inside the recv window and carries only busy time.
+		span.PhaseDetail("decompress", obs.ClassCPU, attemptDetail+", overlaps recv", recvStart, decompWall, 0)
+	}
 
 	if recvErr != nil {
 		return out, false, recvErr
@@ -415,7 +577,10 @@ recvLoop:
 	if uint64(len(out)) != hdr.RawSize {
 		return out, false, fmt.Errorf("%w: got %d bytes, header says %d", ErrProtocol, len(out), hdr.RawSize)
 	}
-	if crcOf(out) != wantCRC {
+	verifyStart := time.Now()
+	contentCRC := crcOf(out)
+	span.PhaseDetail("verify", obs.ClassCPU, attemptDetail, verifyStart, time.Since(verifyStart), 0)
+	if contentCRC != wantCRC {
 		// Every block passed its frame CRC, so a whole-content mismatch
 		// means the pieces come from different file generations: poison
 		// the resume state before retrying.

@@ -27,12 +27,12 @@ func TestRegenFuzzCorpus(t *testing.T) {
 	}
 
 	var get bytes.Buffer
-	if err := writeRequest(&get, request{Op: opGet, Name: "index.txt", Scheme: 1, Mode: ModeOnDemand, Offset: 128_000}); err != nil {
+	if err := writeRequest(&get, request{Op: opGet, Name: "index.txt", Scheme: 1, Mode: ModeOnDemand, Offset: 128_000, ReqID: 0xC0FFEE}); err != nil {
 		t.Fatal(err)
 	}
 	write("FuzzReadRequest", "seed-valid-get", get.Bytes())
-	write("FuzzReadRequest", "seed-bad-magic", append([]byte("QXY2"), get.Bytes()[4:]...))
-	write("FuzzReadRequest", "seed-overlong-name", []byte("PXY2\x02\xff\xfe"))
+	write("FuzzReadRequest", "seed-bad-magic", append([]byte("QXY3"), get.Bytes()[4:]...))
+	write("FuzzReadRequest", "seed-overlong-name", []byte("PXY3\x02\xff\xfe"))
 	write("FuzzReadRequest", "seed-bad-crc", append(get.Bytes()[:get.Len()-1], get.Bytes()[get.Len()-1]^0xFF))
 
 	var raw, end bytes.Buffer

@@ -5,26 +5,27 @@ import (
 	"testing"
 )
 
-// FuzzReadRequest throws arbitrary bytes at the PXY1 request parser:
+// FuzzReadRequest throws arbitrary bytes at the PXY3 request parser:
 // malformed magic, truncated frames and oversized length fields must
 // produce errors, never a panic or an over-allocation; frames the parser
 // accepts must survive a write/read round trip unchanged.
 func FuzzReadRequest(f *testing.F) {
-	// Well-formed GET (with a resume offset) and LIST requests, built by
-	// the writer so their trailing CRCs are valid.
+	// Well-formed GET (with a resume offset and a request ID) and LIST
+	// requests, built by the writer so their trailing CRCs are valid.
 	var get, list bytes.Buffer
-	_ = writeRequest(&get, request{Op: opGet, Name: "doc.xml", Scheme: 1, Mode: ModeSelective, Offset: 128_000})
+	_ = writeRequest(&get, request{Op: opGet, Name: "doc.xml", Scheme: 1, Mode: ModeSelective, Offset: 128_000, ReqID: 0xFEED})
 	_ = writeRequest(&list, request{Op: opList})
 	f.Add(get.Bytes())
 	f.Add(list.Bytes())
-	// Bad magic, bad CRC, truncation at every interesting boundary,
-	// oversized name.
-	f.Add([]byte("QXY2\x02\x00\x07doc.xml\x01\x03"))
+	// Bad magic (including the previous protocol generation), bad CRC,
+	// truncation at every interesting boundary, oversized name.
+	f.Add([]byte("QXY3\x02\x00\x07doc.xml\x01\x03"))
 	f.Add(append(get.Bytes()[:get.Len()-1], 0xAA)) // last CRC byte flipped
-	f.Add([]byte("PXY2"))
-	f.Add([]byte("PXY2\x02"))
 	f.Add([]byte("PXY2\x02\x00\x07doc"))
-	f.Add([]byte("PXY2\x02\xff\xff"))
+	f.Add([]byte("PXY3"))
+	f.Add([]byte("PXY3\x02"))
+	f.Add([]byte("PXY3\x02\x00\x07doc"))
+	f.Add([]byte("PXY3\x02\xff\xff"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

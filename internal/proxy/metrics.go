@@ -3,8 +3,9 @@ package proxy
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // numLatencyBounds is len(latencyBounds); the histogram carries one extra
@@ -12,8 +13,8 @@ import (
 const numLatencyBounds = 11
 
 // latencyBounds are the upper edges of the per-connection latency
-// histogram buckets; durations at or past the last bound land in the
-// overflow bucket.
+// histogram buckets; durations past the last bound land in the overflow
+// bucket.
 var latencyBounds = [numLatencyBounds]time.Duration{
 	1 * time.Millisecond,
 	2 * time.Millisecond,
@@ -28,47 +29,86 @@ var latencyBounds = [numLatencyBounds]time.Duration{
 	2500 * time.Millisecond,
 }
 
-// metrics is the server's hot-path instrumentation. Every field is an
-// atomic so the serve path never takes a lock to count.
+// latencyBoundsSeconds is the same edge set in the seconds unit the
+// registry histogram uses.
+func latencyBoundsSeconds() []float64 {
+	out := make([]float64, len(latencyBounds))
+	for i, b := range latencyBounds {
+		out[i] = b.Seconds()
+	}
+	return out
+}
+
+// metrics is the server's hot-path instrumentation, now backed by the
+// obs.Registry so the same instruments that feed Server.Stats (and the
+// SIGUSR1 report) also feed the admin plane's /metrics and /statsz — one
+// source of truth. Every instrument is an atomic; the serve path never
+// takes a lock to count.
 type metrics struct {
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	coalesced    atomic.Int64
-	compressions atomic.Int64
-	evictions    atomic.Int64
-	cacheRejects atomic.Int64
+	requests     *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	coalesced    *obs.Counter
+	compressions *obs.Counter
+	evictions    *obs.Counter
+	cacheRejects *obs.Counter
 
-	bytesRaw        atomic.Int64
-	bytesCompressed atomic.Int64
+	bytesRaw        *obs.Counter
+	bytesCompressed *obs.Counter
 
-	connsTotal    atomic.Int64
-	connsActive   atomic.Int64
-	connsRejected atomic.Int64
-	errors        atomic.Int64
+	connsTotal    *obs.Counter
+	connsActive   *obs.Gauge
+	connsRejected *obs.Counter
+	errors        *obs.Counter
 
-	latency [numLatencyBounds + 1]atomic.Int64
+	cacheEntries *obs.Gauge
+	cacheBytes   *obs.Gauge
+
+	latency *obs.Histogram
+}
+
+// newMetrics registers the server's instrument set on reg. Metric names
+// are part of the admin-plane contract documented in README "Observability".
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		requests:     reg.Counter("proxy_requests_total", "Requests parsed off accepted connections."),
+		cacheHits:    reg.Counter("proxy_cache_hits_total", "Requests served from the artifact cache."),
+		cacheMisses:  reg.Counter("proxy_cache_misses_total", "Requests that missed the artifact cache."),
+		coalesced:    reg.Counter("proxy_coalesced_total", "Misses that waited on an identical in-flight compression."),
+		compressions: reg.Counter("proxy_compressions_total", "Distinct artifacts actually compressed."),
+		evictions:    reg.Counter("proxy_cache_evictions_total", "Artifacts evicted by the LRU byte budget."),
+		cacheRejects: reg.Counter("proxy_cache_rejects_total", "Artifacts too large for their shard's budget."),
+
+		bytesRaw:        reg.Counter("proxy_bytes_served_raw_total", "Raw block payload bytes written to the wire."),
+		bytesCompressed: reg.Counter("proxy_bytes_served_compressed_total", "Compressed block payload bytes written to the wire."),
+
+		connsTotal:    reg.Counter("proxy_conns_total", "Connections accepted and served."),
+		connsActive:   reg.Gauge("proxy_conns_active", "Connections currently being served."),
+		connsRejected: reg.Counter("proxy_conns_rejected_total", "Connections shed with statusBusy at the MaxConns cap."),
+		errors:        reg.Counter("proxy_errors_total", "Connections that ended in an error."),
+
+		cacheEntries: reg.Gauge("proxy_cache_entries", "Artifacts currently cached."),
+		cacheBytes:   reg.Gauge("proxy_cache_bytes", "Bytes currently charged to the artifact cache."),
+
+		latency: reg.Histogram("proxy_conn_seconds", "Per-connection wall time.", latencyBoundsSeconds()),
+	}
 }
 
 // observeLatency records one connection's wall time.
 func (m *metrics) observeLatency(d time.Duration) {
-	for i, b := range latencyBounds {
-		if d < b {
-			m.latency[i].Add(1)
-			return
-		}
-	}
-	m.latency[len(latencyBounds)].Add(1)
+	m.latency.Observe(d.Seconds())
 }
 
 // LatencyBucket is one histogram bucket of a Stats snapshot. UpTo is the
-// exclusive upper edge; the overflow bucket has UpTo == 0.
+// inclusive upper edge; the overflow bucket has UpTo == 0.
 type LatencyBucket struct {
 	UpTo  time.Duration
 	Count int64
 }
 
 // Stats is a point-in-time snapshot of the server's counters, returned by
-// Server.Stats.
+// Server.Stats. The same instruments back the admin plane, so this
+// snapshot, the SIGUSR1 report and /statsz always agree.
 //
 // Counter relationships (exact when the cache never evicts, otherwise
 // lower bounds):
@@ -77,6 +117,10 @@ type LatencyBucket struct {
 //	Compressions + Coalesced  == CacheMisses (modulo errored requests)
 //	Compressions              == distinct (file, scheme, decider) keys built
 type Stats struct {
+	// Requests counts frames successfully parsed off accepted
+	// connections (LIST and GET alike).
+	Requests int64
+
 	// Cache counters. A request that finds its compressed block stream in
 	// the cache is a hit; otherwise it is a miss and either runs the
 	// compression itself (Compressions) or waits on an identical in-flight
@@ -108,25 +152,27 @@ type Stats struct {
 	Latency []LatencyBucket
 }
 
-// snapshot materialises the atomics into a Stats value.
+// snapshot materialises the instruments into a Stats value.
 func (m *metrics) snapshot() Stats {
 	s := Stats{
-		CacheHits:             m.cacheHits.Load(),
-		CacheMisses:           m.cacheMisses.Load(),
-		Coalesced:             m.coalesced.Load(),
-		Compressions:          m.compressions.Load(),
-		Evictions:             m.evictions.Load(),
-		CacheRejects:          m.cacheRejects.Load(),
-		BytesServedRaw:        m.bytesRaw.Load(),
-		BytesServedCompressed: m.bytesCompressed.Load(),
-		ConnsTotal:            m.connsTotal.Load(),
-		ConnsActive:           m.connsActive.Load(),
-		ConnsRejected:         m.connsRejected.Load(),
-		Errors:                m.errors.Load(),
+		Requests:              m.requests.Value(),
+		CacheHits:             m.cacheHits.Value(),
+		CacheMisses:           m.cacheMisses.Value(),
+		Coalesced:             m.coalesced.Value(),
+		Compressions:          m.compressions.Value(),
+		Evictions:             m.evictions.Value(),
+		CacheRejects:          m.cacheRejects.Value(),
+		BytesServedRaw:        m.bytesRaw.Value(),
+		BytesServedCompressed: m.bytesCompressed.Value(),
+		ConnsTotal:            m.connsTotal.Value(),
+		ConnsActive:           m.connsActive.Value(),
+		ConnsRejected:         m.connsRejected.Value(),
+		Errors:                m.errors.Value(),
 	}
-	s.Latency = make([]LatencyBucket, 0, len(m.latency))
-	for i := range m.latency {
-		b := LatencyBucket{Count: m.latency[i].Load()}
+	hs := m.latency.Snapshot()
+	s.Latency = make([]LatencyBucket, 0, len(hs.Counts))
+	for i, c := range hs.Counts {
+		b := LatencyBucket{Count: c}
 		if i < len(latencyBounds) {
 			b.UpTo = latencyBounds[i]
 		}
@@ -139,6 +185,7 @@ func (m *metrics) snapshot() Stats {
 // proxyd prints on SIGUSR1 and at shutdown.
 func (s Stats) String() string {
 	var b strings.Builder
+	fmt.Fprintf(&b, "requests: %d\n", s.Requests)
 	fmt.Fprintf(&b, "cache: %d hits, %d misses, %d coalesced, %d compressions, %d evictions, %d rejects\n",
 		s.CacheHits, s.CacheMisses, s.Coalesced, s.Compressions, s.Evictions, s.CacheRejects)
 	fmt.Fprintf(&b, "cache occupancy: %d entries, %d bytes\n", s.CacheEntries, s.CacheBytes)

@@ -23,14 +23,18 @@ import (
 	"repro/internal/selective"
 )
 
-// Protocol constants. PXY2 hardens the PXY1 framing for a lossy link: the
-// request and the GET response header carry a CRC-32 so a corrupted frame
-// is distinguishable from an honest answer, the request carries a resume
-// offset (and the response echoes the offset actually granted), and every
-// block frame carries a CRC-32 of its payload so a fetch can be resumed
-// from the last verified block.
+// Protocol constants. PXY2 hardened the PXY1 framing for a lossy link:
+// the request and the GET response header carry a CRC-32 so a corrupted
+// frame is distinguishable from an honest answer, the request carries a
+// resume offset (and the response echoes the offset actually granted),
+// and every block frame carries a CRC-32 of its payload so a fetch can be
+// resumed from the last verified block. PXY3 adds a 64-bit request ID to
+// the request frame: the client mints one per fetch (shared by every
+// retry attempt), the server tags its logs and trace spans with it, so
+// one grep or /tracez query follows a request across both sides of the
+// wire.
 const (
-	protoMagic = "PXY2"
+	protoMagic = "PXY3"
 
 	opList = 0x01
 	opGet  = 0x02
@@ -58,8 +62,9 @@ const (
 
 	// reqFixedLen is magic + op + name length.
 	reqFixedLen = 4 + 1 + 2
-	// reqTailLen is scheme + mode + offset + CRC, after the name.
-	reqTailLen = 1 + 1 + 8 + 4
+	// reqTailLen is scheme + mode + offset + request ID + CRC, after the
+	// name.
+	reqTailLen = 1 + 1 + 8 + 8 + 4
 	// getHeaderLen is status + raw size + scheme + offset + CRC.
 	getHeaderLen = 1 + 8 + 1 + 8 + 4
 	// blockHeaderLen is flag + raw length + payload length + payload CRC.
@@ -112,12 +117,16 @@ var ErrBusy = errors.New("proxy: server busy")
 // request is the client->server GET message. Offset asks the server to
 // resume the transfer at that raw-byte position; the server rounds it down
 // to a block boundary and echoes the granted offset in the response.
+// ReqID is the client-minted correlation ID: every retry attempt of one
+// fetch carries the same ID, and the server propagates it into its logs
+// and trace spans.
 type request struct {
 	Op     byte
 	Name   string
 	Scheme codec.Scheme
 	Mode   Mode
 	Offset uint64
+	ReqID  uint64
 }
 
 func writeRequest(w io.Writer, req request) error {
@@ -133,9 +142,11 @@ func writeRequest(w io.Writer, req request) error {
 	buf = append(buf, n16[:]...)
 	buf = append(buf, name...)
 	buf = append(buf, byte(req.Scheme), byte(req.Mode))
-	var off [8]byte
-	binary.BigEndian.PutUint64(off[:], req.Offset)
-	buf = append(buf, off[:]...)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], req.Offset)
+	buf = append(buf, u64[:]...)
+	binary.BigEndian.PutUint64(u64[:], req.ReqID)
+	buf = append(buf, u64[:]...)
 	// The CRC covers everything after the magic, so a bit-flipped request
 	// is rejected server-side instead of fetching the wrong file.
 	var crc [4]byte
@@ -172,6 +183,7 @@ func readRequest(r io.Reader) (request, error) {
 	req.Scheme = codec.Scheme(body[nameLen])
 	req.Mode = Mode(body[nameLen+1])
 	req.Offset = binary.BigEndian.Uint64(body[nameLen+2:])
+	req.ReqID = binary.BigEndian.Uint64(body[nameLen+10:])
 	return req, nil
 }
 

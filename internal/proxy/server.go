@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"runtime"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/selective"
 )
 
@@ -44,6 +46,18 @@ type Config struct {
 	// (internal/proxy/faultconn) plugs into, so the whole stack can be
 	// exercised over a deliberately hostile link.
 	WrapConn func(net.Conn) net.Conn
+
+	// Metrics is the registry the server's instruments live on; sharing
+	// one registry between a server and its admin endpoint (or several
+	// servers) is how their series end up in one /metrics page. Nil
+	// creates a private registry — Stats keeps working either way.
+	Metrics *obs.Registry
+	// Tracer retains per-request spans for /tracez. Nil creates a ring of
+	// defaultTraceCap spans.
+	Tracer *obs.Tracer
+	// Logger receives structured request/error logs tagged with the
+	// client-propagated request ID. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -79,13 +93,17 @@ type Server struct {
 	deciderFP string
 	cfg       Config
 
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	log    *slog.Logger
+
 	mu    sync.Mutex
 	files map[string][]byte
 	gens  map[string]uint64
 
 	cache   *blockCache // nil when caching is disabled
 	flights flightGroup
-	metrics metrics
+	metrics *metrics
 	// workerSem bounds concurrent compressions (the worker pool): a slot
 	// must be held while compressBlocks runs.
 	workerSem chan struct{}
@@ -110,6 +128,9 @@ const (
 	fpAlways = "always"
 	fpNever  = "never"
 )
+
+// defaultTraceCap is the span ring size when Config.Tracer is nil.
+const defaultTraceCap = 256
 
 // deciderFingerprint distinguishes decision policies in cache keys, so two
 // servers' (or a reconfigured server's) artifacts never alias.
@@ -136,10 +157,26 @@ func NewServerWith(decider selective.Decider, cfg Config) *Server {
 		decider = selective.PaperDecider{}
 	}
 	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(defaultTraceCap)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	s := &Server{
 		decider:   decider,
 		deciderFP: deciderFingerprint(decider),
 		cfg:       cfg,
+		reg:       reg,
+		tracer:    tracer,
+		log:       logger,
+		metrics:   newMetrics(reg),
 		files:     make(map[string][]byte),
 		gens:      make(map[string]uint64),
 		workerSem: make(chan struct{}, cfg.Workers),
@@ -148,7 +185,7 @@ func NewServerWith(decider selective.Decider, cfg Config) *Server {
 		closed:    make(chan struct{}),
 	}
 	if cfg.CacheBytes > 0 {
-		s.cache = newBlockCache(cfg.CacheBytes, cfg.Shards, &s.metrics)
+		s.cache = newBlockCache(cfg.CacheBytes, cfg.Shards, s.metrics)
 	}
 	return s
 }
@@ -177,14 +214,27 @@ func (s *Server) Files() []string {
 	return out
 }
 
-// Stats returns a snapshot of the server's counters.
+// Stats returns a snapshot of the server's counters. The SIGUSR1 report,
+// /statsz and /metrics all read through here (or through the registry the
+// same instruments live on), so every exposure of the counters agrees.
 func (s *Server) Stats() Stats {
+	s.refreshGauges()
 	st := s.metrics.snapshot()
 	if s.cache != nil {
 		st.CacheEntries = s.cache.len()
 		st.CacheBytes = s.cache.bytes()
 	}
 	return st
+}
+
+// refreshGauges folds current occupancy into the registry gauges, so a
+// raw registry snapshot (the admin /metrics page) carries the same cache
+// occupancy a Stats call reports.
+func (s *Server) refreshGauges() {
+	if s.cache != nil {
+		s.metrics.cacheEntries.Set(int64(s.cache.len()))
+		s.metrics.cacheBytes.Set(s.cache.bytes())
+	}
 }
 
 // lookup returns the named file's content and current generation.
@@ -206,7 +256,7 @@ func (s *Server) Precompress(name string, scheme codec.Scheme) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	key := cacheKey{name: name, gen: gen, scheme: scheme, fp: fpAlways}
-	_, err := s.getOrCompress(key, content, scheme, selective.AlwaysCompress{})
+	_, err := s.getOrCompress(key, content, scheme, selective.AlwaysCompress{}, nil)
 	return err
 }
 
@@ -225,14 +275,18 @@ func (s *Server) compressBlocks(content []byte, scheme codec.Scheme, d selective
 // getOrCompress is the cache/singleflight/worker-pool fast path: return
 // the cached artifact, or build it exactly once per key under a bounded
 // compression slot while identical concurrent requests wait for the
-// result.
-func (s *Server) getOrCompress(key cacheKey, content []byte, scheme codec.Scheme, d selective.Decider) ([]selective.Block, error) {
+// result. The span, when present, gains a cache-hit / cache-miss phase
+// and, for flights this request led, a compress-on-demand phase.
+func (s *Server) getOrCompress(key cacheKey, content []byte, scheme codec.Scheme, d selective.Decider, span *obs.Span) ([]selective.Block, error) {
+	lookupStart := time.Now()
 	if s.cache != nil {
 		if blocks, ok := s.cache.get(key); ok {
 			s.metrics.cacheHits.Add(1)
+			span.Phase("cache-hit", "", lookupStart, time.Since(lookupStart), int64(len(content)))
 			return blocks, nil
 		}
 		s.metrics.cacheMisses.Add(1)
+		span.Phase("cache-miss", "", lookupStart, time.Since(lookupStart), 0)
 	}
 	ranCompression := false
 	blocks, err, _ := s.flights.do(key, func() ([]selective.Block, error) {
@@ -256,7 +310,9 @@ func (s *Server) getOrCompress(key cacheKey, content []byte, scheme codec.Scheme
 		if s.onCompress != nil {
 			s.onCompress(key)
 		}
+		compStart := time.Now()
 		b, err := s.compressBlocks(content, scheme, d)
+		span.Phase("compress-on-demand", "", compStart, time.Since(compStart), int64(len(content)))
 		if err != nil {
 			return nil, err
 		}
@@ -269,6 +325,7 @@ func (s *Server) getOrCompress(key cacheKey, content []byte, scheme codec.Scheme
 		// Either another request's flight produced the result or the
 		// double-check hit: this request's compression was coalesced away.
 		s.metrics.coalesced.Add(1)
+		span.PhaseDetail("coalesced", "", "waited on an identical in-flight compression", lookupStart, time.Since(lookupStart), 0)
 	}
 	return blocks, err
 }
@@ -350,6 +407,7 @@ func (s *Server) acceptLoop() {
 			// downloads do.
 			if err := s.handle(conn); err != nil {
 				s.metrics.errors.Add(1)
+				s.log.Warn("request failed", "remote", conn.RemoteAddr().String(), "err", err)
 			}
 		}()
 	}
@@ -389,28 +447,45 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) handle(conn net.Conn) error {
+func (s *Server) handle(conn net.Conn) (err error) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriterSize(conn, 64*1024)
 	defer bw.Flush()
+
+	span := s.tracer.Start("serve")
+	span.SetAttr("remote", conn.RemoteAddr().String())
+	defer func() {
+		span.Fail(err)
+		span.Finish()
+	}()
 
 	// A client must present its whole request within ReadTimeout, and the
 	// full response must drain within WriteTimeout.
 	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 		return err
 	}
+	readStart := time.Now()
 	req, err := readRequest(br)
 	if err != nil {
 		return err
 	}
+	span.Phase("read-request", "", readStart, time.Since(readStart), 0)
+	span.SetAttr("req_id", obs.ReqID(req.ReqID))
+	s.metrics.requests.Add(1)
 	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 		return err
 	}
 	switch req.Op {
 	case opList:
+		span.SetAttr("op", "list")
 		return s.handleList(bw)
 	case opGet:
-		return s.handleGet(bw, req)
+		span.SetAttr("op", "get")
+		span.SetAttr("name", req.Name)
+		span.SetAttr("mode", req.Mode.String())
+		s.log.Debug("get", slog.String("name", req.Name), slog.String("mode", req.Mode.String()),
+			slog.Uint64("offset", req.Offset), obs.ReqIDAttr(req.ReqID))
+		return s.handleGet(bw, req, span)
 	default:
 		return writeGetHeader(bw, getHeader{Status: statusBadReq})
 	}
@@ -437,13 +512,13 @@ func (s *Server) handleList(bw *bufio.Writer) error {
 	return bw.Flush()
 }
 
-func (s *Server) handleGet(bw *bufio.Writer, req request) error {
+func (s *Server) handleGet(bw *bufio.Writer, req request, span *obs.Span) error {
 	content, gen, ok := s.lookup(req.Name)
 	if !ok {
 		return writeGetHeader(bw, getHeader{Status: statusNotFound})
 	}
 
-	blocks, err := s.blocksFor(req, content, gen)
+	blocks, err := s.blocksFor(req, content, gen, span)
 	if err != nil {
 		return err
 	}
@@ -464,6 +539,8 @@ func (s *Server) handleGet(bw *bufio.Writer, req request) error {
 	}); err != nil {
 		return err
 	}
+	writeStart := time.Now()
+	var wrote int64
 	for _, b := range blocks[start:] {
 		flag := byte(blockFlagRaw)
 		if b.Compressed {
@@ -476,12 +553,14 @@ func (s *Server) handleGet(bw *bufio.Writer, req request) error {
 		if err := writeBlock(bw, wb); err != nil {
 			return err
 		}
+		wrote += int64(blockHeaderLen + len(b.Payload))
 		// Flush per block so the client's pipeline can overlap
 		// decompression with the next block's arrival.
 		if err := bw.Flush(); err != nil {
 			return err
 		}
 	}
+	span.Phase("write-blocks", "", writeStart, time.Since(writeStart), wrote)
 	if err := writeEnd(bw, crcOf(content)); err != nil {
 		return err
 	}
@@ -491,7 +570,7 @@ func (s *Server) handleGet(bw *bufio.Writer, req request) error {
 // blocksFor materialises the block stream for a request. ModeRaw chunks
 // without compression; every compressing mode goes through the cache and
 // singleflight, so concurrent load amortises the server-side compute.
-func (s *Server) blocksFor(req request, content []byte, gen uint64) ([]selective.Block, error) {
+func (s *Server) blocksFor(req request, content []byte, gen uint64, span *obs.Span) ([]selective.Block, error) {
 	var d selective.Decider
 	var fp string
 	switch req.Mode {
@@ -508,5 +587,5 @@ func (s *Server) blocksFor(req request, content []byte, gen uint64) ([]selective
 		return nil, fmt.Errorf("%w: mode %d", ErrProtocol, int(req.Mode))
 	}
 	key := cacheKey{name: req.Name, gen: gen, scheme: req.Scheme, fp: fp}
-	return s.getOrCompress(key, content, req.Scheme, d)
+	return s.getOrCompress(key, content, req.Scheme, d, span)
 }

@@ -26,6 +26,7 @@ package repro
 
 import (
 	"io"
+	"log/slog"
 	"time"
 
 	"repro/internal/codec"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/experiment"
 	"repro/internal/flate"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/proxy"
 	"repro/internal/proxy/faultconn"
@@ -85,6 +87,12 @@ func Params11Mbps() EnergyModel { return energy.Params11Mbps() }
 
 // Params2Mbps returns the model at the 2 Mb/s validation setting.
 func Params2Mbps() EnergyModel { return energy.Params2Mbps() }
+
+// EnergyBreakdown attributes one transfer's modeled energy to the
+// hardware spending it: radio (receive + start-up), CPU (decompression)
+// and the unreclaimed CPU-idle residual. The parts sum exactly to the
+// corresponding whole-transfer equation.
+type EnergyBreakdown = energy.Breakdown
 
 // ShouldCompress is the paper's Equation 6 decision test on byte sizes.
 func ShouldCompress(rawBytes, compBytes int) bool {
@@ -201,6 +209,39 @@ func NewProxyServerWith(decider SelectiveDecider, cfg ProxyConfig) *ProxyServer 
 
 // NewProxyClient returns a client for the proxy at addr.
 func NewProxyClient(addr string) *ProxyClient { return proxy.NewClient(addr) }
+
+// MetricsRegistry holds named counters, gauges and histograms; the proxy
+// server and client register their instruments on one, and its snapshot
+// renders as Prometheus text (the admin plane's /metrics) or JSON.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Tracer retains the most recent finished request spans in a bounded ring
+// buffer; install one on a ProxyServer (ProxyConfig.Tracer) or a
+// ProxyClient (Client.Tracer) to capture per-request phase timelines with
+// modeled per-phase joules.
+type Tracer = obs.Tracer
+
+// TraceSpan is one finished span: the phase timeline of a request with
+// its energy attribution, as served by /tracez and printed by
+// hhfetch -trace.
+type TraceSpan = obs.SpanData
+
+// NewTracer returns a tracer retaining up to capacity finished spans.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewStructuredLogger returns a structured text logger at the given level
+// ("debug", "info", "warn" or "error") for ProxyConfig.Logger or
+// ProxyClient.Logger.
+func NewStructuredLogger(w io.Writer, level string) (*slog.Logger, error) {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(w, lv), nil
+}
 
 // FaultPlan is a seeded, deterministic fault-injection schedule for the
 // proxy wire path: injected delays, fragmented writes, mid-stream resets,

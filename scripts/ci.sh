@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # CI gate: vet + lint + build + full test suite under the race detector
 # (which includes the fault-injection stress test and the malicious-server
-# suite), then an explicit race-mode pass over the hostile-wire tests and a
-# short fuzz pass over both PXY2 wire-format parsers. Every change to the
-# proxy dataplane or wire path must keep this green.
+# suite), then an explicit race-mode pass over the hostile-wire and
+# telemetry tests, a short fuzz pass over both PXY3 wire-format parsers,
+# and an admin-plane smoke test over real HTTP. Every change to the proxy
+# dataplane, wire path or telemetry layer must keep this green.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -31,5 +32,39 @@ go test -race ./...
 # provoke a panic, hang or attacker-sized allocation — all under -race.
 go test -race -run 'TestFetchCompletesUnderFaults|TestFetchResumes|TestMalicious' ./internal/proxy
 
+# The telemetry gate: registry/tracer hammering and the end-to-end
+# observability test (stats/admin/trace consistency, energy attribution,
+# goroutine-leak check) under -race.
+go test -race ./internal/obs
+go test -race -run 'TestObservabilityEndToEnd|TestPermanentErrorClassification' ./internal/proxy
+
 go test -run='^$' -fuzz=FuzzReadRequest -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzReadBlockFrame -fuzztime=10s ./internal/proxy
+
+# Admin-plane smoke: a real proxyd with -admin must answer /healthz,
+# count a real fetch in /metrics, /statsz and /tracez, and exit cleanly
+# on SIGTERM. Skips when curl is unavailable.
+if command -v curl >/dev/null 2>&1; then
+	SMOKE_DIR=$(mktemp -d)
+	trap 'kill "$PROXYD_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+	go build -o "$SMOKE_DIR/proxyd" ./cmd/proxyd
+	go build -o "$SMOKE_DIR/hhfetch" ./cmd/hhfetch
+	"$SMOKE_DIR/proxyd" -corpus -scale 0.03125 -addr 127.0.0.1:0 -admin 127.0.0.1:0 >"$SMOKE_DIR/proxyd.log" &
+	PROXYD_PID=$!
+	for _ in $(seq 1 50); do
+		grep -q '^admin listening on ' "$SMOKE_DIR/proxyd.log" && break
+		sleep 0.1
+	done
+	ADDR=$(sed -n 's/^proxyd serving .* on //p' "$SMOKE_DIR/proxyd.log")
+	ADMIN=$(sed -n 's/^admin listening on //p' "$SMOKE_DIR/proxyd.log")
+	curl -fsS "http://$ADMIN/healthz" | grep -q '^ok$'
+	NAME=$("$SMOKE_DIR/hhfetch" -addr "$ADDR" -list | head -n 1)
+	"$SMOKE_DIR/hhfetch" -addr "$ADDR" -name "$NAME" -mode ondemand -trace >/dev/null
+	curl -fsS "http://$ADMIN/metrics" | grep -q '^proxy_requests_total [1-9]'
+	curl -fsS "http://$ADMIN/statsz" | grep -q '"Requests"'
+	curl -fsS "http://$ADMIN/tracez" | grep -q '"req_id"'
+	kill -TERM "$PROXYD_PID"
+	wait "$PROXYD_PID"
+else
+	echo "curl not installed; skipping admin smoke"
+fi
