@@ -7,6 +7,7 @@
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"io"
 )
@@ -98,14 +99,24 @@ func (bw *LSBWriter) Flush() error {
 // Err reports the sticky error, if any.
 func (bw *LSBWriter) Err() error { return bw.err }
 
-// LSBReader unpacks bits least-significant-bit first.
+// LSBReader unpacks bits least-significant-bit first. Besides the
+// consuming ReadBits API it offers a buffered PeekBits/Consume fast path:
+// decode hot loops peek a fixed window (a Huffman table index), consume
+// only the bits a symbol used, and never touch the underlying io.Reader
+// per symbol — the accumulator is topped up with bulk 8-byte loads.
 type LSBReader struct {
 	r   io.Reader
 	acc uint64
 	n   uint
 	buf []byte
 	pos int
+	// err is the surfaced sticky error: an I/O failure, or a read/consume
+	// that went past the end of the stream.
 	err error
+	// srcErr records that the underlying reader is exhausted (io.EOF) or
+	// failed; it is surfaced as err only when a caller actually over-reads,
+	// so peeking beyond the last symbol stays harmless.
+	srcErr error
 }
 
 // NewLSBReader returns an LSBReader consuming from r.
@@ -113,31 +124,55 @@ func NewLSBReader(r io.Reader) *LSBReader {
 	return &LSBReader{r: r, buf: make([]byte, 0, 4096)}
 }
 
-func (br *LSBReader) fill(need uint) bool {
-	for br.n < need {
-		if br.pos >= len(br.buf) {
-			if br.err != nil {
-				return false
-			}
-			b := br.buf[:cap(br.buf)]
-			n, err := br.r.Read(b)
-			br.buf = b[:n]
-			br.pos = 0
-			if err != nil {
-				br.err = err
-			}
-			if n == 0 {
-				if br.err == nil {
-					br.err = io.ErrUnexpectedEOF
-				}
-				return false
-			}
-		}
-		br.acc |= uint64(br.buf[br.pos]) << br.n
-		br.pos++
-		br.n += 8
+// fillBuf pulls the next chunk from the underlying reader.
+func (br *LSBReader) fillBuf() {
+	b := br.buf[:cap(br.buf)]
+	n, err := br.r.Read(b)
+	br.buf = b[:n]
+	br.pos = 0
+	if err != nil {
+		br.srcErr = err
+	} else if n == 0 {
+		br.srcErr = io.ErrUnexpectedEOF
 	}
-	return true
+}
+
+// refill tops up the accumulator to at least need bits (need <= 57) when
+// the source still has them, loading 8 bytes at a time away from the
+// buffer's tail. Source exhaustion is recorded in srcErr, not surfaced.
+func (br *LSBReader) refill(need uint) {
+	for br.n < need {
+		if br.pos+8 <= len(br.buf) && br.n <= 48 {
+			br.acc |= binary.LittleEndian.Uint64(br.buf[br.pos:]) << br.n
+			adv := (63 - br.n) >> 3 // whole bytes that fit below bit 64
+			br.pos += int(adv)
+			br.n += 8 * adv
+			br.acc &= 1<<br.n - 1 // drop the partially-loaded high byte
+			continue
+		}
+		if br.pos < len(br.buf) {
+			br.acc |= uint64(br.buf[br.pos]) << br.n
+			br.pos++
+			br.n += 8
+			continue
+		}
+		if br.srcErr != nil {
+			return
+		}
+		br.fillBuf()
+		if br.pos >= len(br.buf) {
+			return
+		}
+	}
+}
+
+// endErr is the error an over-read surfaces: the source's failure, with
+// bare EOF mapped to ErrUnexpectedEOF (the stream ended mid-value).
+func (br *LSBReader) endErr() error {
+	if br.srcErr == nil || br.srcErr == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return br.srcErr
 }
 
 // ReadBits reads n bits, LSB first. On error it returns 0 and records the
@@ -149,10 +184,16 @@ func (br *LSBReader) ReadBits(n uint) uint64 {
 		}
 		return 0
 	}
-	if !br.fill(n) {
-		return 0
+	if br.n < n {
+		br.refill(n)
+		if br.n < n {
+			if br.err == nil {
+				br.err = br.endErr()
+			}
+			return 0
+		}
 	}
-	v := br.acc & ((1 << n) - 1)
+	v := br.acc & (1<<n - 1)
 	br.acc >>= n
 	br.n -= n
 	return v
@@ -160,6 +201,30 @@ func (br *LSBReader) ReadBits(n uint) uint64 {
 
 // ReadBit reads a single bit.
 func (br *LSBReader) ReadBit() uint64 { return br.ReadBits(1) }
+
+// PeekBits returns the next n bits (LSB first) without consuming them,
+// zero-padded when the stream ends within the window. n must be <= 57.
+// Peeking past the end is not an error; only Consume detects over-reads.
+func (br *LSBReader) PeekBits(n uint) uint64 {
+	if br.n < n {
+		br.refill(n)
+	}
+	return br.acc & (1<<n - 1)
+}
+
+// Consume discards n previously peeked bits. Consuming more bits than the
+// stream actually held sets the sticky error.
+func (br *LSBReader) Consume(n uint) {
+	if n > br.n {
+		if br.err == nil {
+			br.err = br.endErr()
+		}
+		br.acc, br.n = 0, 0
+		return
+	}
+	br.acc >>= n
+	br.n -= n
+}
 
 // Align discards bits up to the next byte boundary.
 func (br *LSBReader) Align() {
@@ -173,22 +238,35 @@ func (br *LSBReader) ReadBytes(p []byte) error {
 	if br.n%8 != 0 {
 		return errors.New("bitio: ReadBytes on unaligned reader")
 	}
-	for i := range p {
-		if !br.fill(8) {
-			return br.errOrEOF()
-		}
+	i := 0
+	for i < len(p) && br.n >= 8 {
 		p[i] = byte(br.acc)
 		br.acc >>= 8
 		br.n -= 8
+		i++
+	}
+	for i < len(p) {
+		if br.pos < len(br.buf) {
+			c := copy(p[i:], br.buf[br.pos:])
+			br.pos += c
+			i += c
+			continue
+		}
+		if br.srcErr != nil {
+			if br.err == nil {
+				br.err = br.endErr()
+			}
+			return br.err
+		}
+		br.fillBuf()
+		if br.pos >= len(br.buf) {
+			if br.err == nil {
+				br.err = br.endErr()
+			}
+			return br.err
+		}
 	}
 	return nil
-}
-
-func (br *LSBReader) errOrEOF() error {
-	if br.err == nil {
-		return io.ErrUnexpectedEOF
-	}
-	return br.err
 }
 
 // Err reports the sticky error, if any. io.EOF is reported once input is
@@ -206,14 +284,12 @@ func (br *LSBReader) AtEOF() bool {
 	if br.n > 0 || br.pos < len(br.buf) {
 		return false
 	}
-	if br.err != nil {
+	if br.err != nil || br.srcErr != nil {
 		return true
 	}
 	// Peek one byte ahead.
-	if br.fill(8) {
-		return false
-	}
-	return true
+	br.refill(8)
+	return br.n == 0
 }
 
 // MSBWriter packs bits most-significant-bit first, the order used by bzip2.
@@ -277,14 +353,16 @@ func (bw *MSBWriter) Flush() error {
 // Err reports the sticky error, if any.
 func (bw *MSBWriter) Err() error { return bw.err }
 
-// MSBReader unpacks bits most-significant-bit first.
+// MSBReader unpacks bits most-significant-bit first. Like LSBReader it
+// offers PeekBits/Consume with bulk refills for table-driven decode loops.
 type MSBReader struct {
-	r   io.Reader
-	acc uint64
-	n   uint
-	buf []byte
-	pos int
-	err error
+	r      io.Reader
+	acc    uint64
+	n      uint
+	buf    []byte
+	pos    int
+	err    error
+	srcErr error
 }
 
 // NewMSBReader returns an MSBReader consuming from r.
@@ -292,31 +370,51 @@ func NewMSBReader(r io.Reader) *MSBReader {
 	return &MSBReader{r: r, buf: make([]byte, 0, 4096)}
 }
 
-func (br *MSBReader) fill(need uint) bool {
-	for br.n < need {
-		if br.pos >= len(br.buf) {
-			if br.err != nil {
-				return false
-			}
-			b := br.buf[:cap(br.buf)]
-			n, err := br.r.Read(b)
-			br.buf = b[:n]
-			br.pos = 0
-			if err != nil {
-				br.err = err
-			}
-			if n == 0 {
-				if br.err == nil {
-					br.err = io.ErrUnexpectedEOF
-				}
-				return false
-			}
-		}
-		br.acc = (br.acc << 8) | uint64(br.buf[br.pos])
-		br.pos++
-		br.n += 8
+func (br *MSBReader) fillBuf() {
+	b := br.buf[:cap(br.buf)]
+	n, err := br.r.Read(b)
+	br.buf = b[:n]
+	br.pos = 0
+	if err != nil {
+		br.srcErr = err
+	} else if n == 0 {
+		br.srcErr = io.ErrUnexpectedEOF
 	}
-	return true
+}
+
+// refill tops up the accumulator to at least need bits (need <= 57),
+// loading 8 bytes per step away from the buffer's tail.
+func (br *MSBReader) refill(need uint) {
+	for br.n < need {
+		if br.pos+8 <= len(br.buf) && br.n <= 48 {
+			x := binary.BigEndian.Uint64(br.buf[br.pos:])
+			adv := (63 - br.n) >> 3
+			br.acc = br.acc<<(8*adv) | x>>(64-8*adv)
+			br.pos += int(adv)
+			br.n += 8 * adv
+			continue
+		}
+		if br.pos < len(br.buf) {
+			br.acc = (br.acc << 8) | uint64(br.buf[br.pos])
+			br.pos++
+			br.n += 8
+			continue
+		}
+		if br.srcErr != nil {
+			return
+		}
+		br.fillBuf()
+		if br.pos >= len(br.buf) {
+			return
+		}
+	}
+}
+
+func (br *MSBReader) endErr() error {
+	if br.srcErr == nil || br.srcErr == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return br.srcErr
 }
 
 // ReadBits reads n bits MSB first.
@@ -330,17 +428,50 @@ func (br *MSBReader) ReadBits(n uint) uint64 {
 	if n == 0 {
 		return 0
 	}
-	if !br.fill(n) {
-		return 0
+	if br.n < n {
+		br.refill(n)
+		if br.n < n {
+			if br.err == nil {
+				br.err = br.endErr()
+			}
+			return 0
+		}
 	}
-	v := (br.acc >> (br.n - n)) & ((1 << n) - 1)
+	v := (br.acc >> (br.n - n)) & (1<<n - 1)
 	br.n -= n
-	br.acc &= (1 << br.n) - 1
+	br.acc &= 1<<br.n - 1
 	return v
 }
 
 // ReadBit reads a single bit.
 func (br *MSBReader) ReadBit() uint64 { return br.ReadBits(1) }
+
+// PeekBits returns the next n bits (MSB first) without consuming them. If
+// the stream ends inside the window the missing low bits read as zero.
+func (br *MSBReader) PeekBits(n uint) uint64 {
+	if br.n < n {
+		br.refill(n)
+		if br.n < n {
+			// Left-align what is left: missing future bits read as zero.
+			return (br.acc << (n - br.n)) & (1<<n - 1)
+		}
+	}
+	return (br.acc >> (br.n - n)) & (1<<n - 1)
+}
+
+// Consume discards n previously peeked bits; over-consuming past the end
+// of the stream sets the sticky error.
+func (br *MSBReader) Consume(n uint) {
+	if n > br.n {
+		if br.err == nil {
+			br.err = br.endErr()
+		}
+		br.acc, br.n = 0, 0
+		return
+	}
+	br.n -= n
+	br.acc &= 1<<br.n - 1
+}
 
 // Err reports the sticky error, if any.
 func (br *MSBReader) Err() error {

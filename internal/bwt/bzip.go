@@ -96,6 +96,12 @@ func compressBlock(bw *bitio.MSBWriter, raw []byte) error {
 // Decompress decodes a stream produced by Compress. maxSize, if positive,
 // bounds the total decompressed size.
 func Decompress(data []byte, maxSize int) ([]byte, error) {
+	return DecompressAppend(nil, data, maxSize)
+}
+
+// DecompressAppend is Decompress appending to dst (which may be nil or
+// recycled from a pool); maxSize bounds the appended bytes.
+func DecompressAppend(dst, data []byte, maxSize int) ([]byte, error) {
 	if len(data) < 4 {
 		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
 	}
@@ -109,7 +115,8 @@ func Decompress(data []byte, maxSize int) ([]byte, error) {
 	br := bitio.NewMSBReader(&sliceReader{b: data[4:]})
 	blockLimit := level * blockSizeUnit
 
-	var out []byte
+	out := dst
+	base := len(out)
 	for {
 		marker := br.ReadBits(1)
 		if br.Err() != nil {
@@ -122,7 +129,7 @@ func Decompress(data []byte, maxSize int) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		if maxSize > 0 && len(out)+len(block) > maxSize {
+		if maxSize > 0 && len(out)-base+len(block) > maxSize {
 			return nil, fmt.Errorf("%w: output exceeds limit %d", ErrCorrupt, maxSize)
 		}
 		out = append(out, block...)
@@ -165,8 +172,8 @@ func decompressBlock(br *bitio.MSBReader, blockLimit int) ([]byte, error) {
 	}
 	syms := make([]uint16, 0, rleLen/2+16)
 	for {
-		s, err := dec.Decode(br)
-		if err != nil || br.Err() != nil {
+		s, err := dec.DecodeMSB(br)
+		if err != nil {
 			return nil, fmt.Errorf("%w: symbol stream", ErrCorrupt)
 		}
 		syms = append(syms, uint16(s))

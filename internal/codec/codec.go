@@ -129,6 +129,10 @@ func (gzipCodec) Decompress(data []byte, maxSize int) ([]byte, error) {
 	return flate.GzipDecompress(data, maxSize)
 }
 
+func (gzipCodec) DecompressAppend(dst, data []byte, maxSize int) ([]byte, error) {
+	return flate.GzipDecompressAppend(dst, data, maxSize)
+}
+
 type zlibCodec struct{ level int }
 
 var _ Codec = zlibCodec{}
@@ -141,6 +145,10 @@ func (c zlibCodec) Compress(data []byte) ([]byte, error) {
 
 func (zlibCodec) Decompress(data []byte, maxSize int) ([]byte, error) {
 	return flate.ZlibDecompress(data, maxSize)
+}
+
+func (zlibCodec) DecompressAppend(dst, data []byte, maxSize int) ([]byte, error) {
+	return flate.ZlibDecompressAppend(dst, data, maxSize)
 }
 
 type lzwCodec struct{ maxBits int }
@@ -157,6 +165,10 @@ func (lzwCodec) Decompress(data []byte, maxSize int) ([]byte, error) {
 	return lzw.Decompress(data, maxSize)
 }
 
+func (lzwCodec) DecompressAppend(dst, data []byte, maxSize int) ([]byte, error) {
+	return lzw.DecompressAppend(dst, data, maxSize)
+}
+
 type bzip2Codec struct{ level int }
 
 var _ Codec = bzip2Codec{}
@@ -169,4 +181,8 @@ func (c bzip2Codec) Compress(data []byte) ([]byte, error) {
 
 func (bzip2Codec) Decompress(data []byte, maxSize int) ([]byte, error) {
 	return bwt.Decompress(data, maxSize)
+}
+
+func (bzip2Codec) DecompressAppend(dst, data []byte, maxSize int) ([]byte, error) {
+	return bwt.DecompressAppend(dst, data, maxSize)
 }

@@ -1,0 +1,74 @@
+package codec
+
+// Size-classed buffer pooling for the dataplane. The proxy decodes one
+// block per request leg and would otherwise allocate a fresh payload and
+// output buffer per block; these pools recycle them so a steady-state
+// serve/fetch loop runs with O(1) buffers per block.
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pool classes are powers of two from 4 KiB to 2 MiB — the top class
+// matches the proxy's maximum block wire size.
+const (
+	minPoolClass = 12 // 4 KiB
+	maxPoolClass = 21 // 2 MiB
+)
+
+var bufPools [maxPoolClass - minPoolClass + 1]sync.Pool
+
+// GetBuf returns a zero-length buffer with capacity at least n, recycled
+// when possible. Requests beyond the top size class fall through to a
+// plain allocation.
+func GetBuf(n int) []byte {
+	if n > 1<<maxPoolClass {
+		return make([]byte, 0, n)
+	}
+	c := minPoolClass
+	if n > 1<<minPoolClass {
+		c = bits.Len(uint(n - 1)) // ceil(log2 n)
+	}
+	if v := bufPools[c-minPoolClass].Get(); v != nil {
+		return (*v.(*[]byte))[:0]
+	}
+	return make([]byte, 0, 1<<c)
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (or elsewhere). Buffers
+// smaller than the bottom class or that alias retained data must not be
+// put back; the caller owns that invariant.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minPoolClass {
+		return
+	}
+	k := bits.Len(uint(c)) - 1 // floor(log2 cap): every pooled buffer satisfies its class
+	if k > maxPoolClass {
+		k = maxPoolClass
+	}
+	b = b[:0]
+	bufPools[k-minPoolClass].Put(&b)
+}
+
+// AppendDecompressor is implemented by codecs whose decompressor can
+// append into a caller-provided (possibly pooled) buffer instead of
+// allocating its own. DecompressAppend returns the extended slice;
+// maxSize, if positive, bounds the appended bytes.
+type AppendDecompressor interface {
+	DecompressAppend(dst, data []byte, maxSize int) ([]byte, error)
+}
+
+// DecompressInto decompresses data with c, appending into dst when the
+// codec supports it and falling back to Decompress otherwise.
+func DecompressInto(c Codec, dst, data []byte, maxSize int) ([]byte, error) {
+	if ad, ok := c.(AppendDecompressor); ok {
+		return ad.DecompressAppend(dst, data, maxSize)
+	}
+	out, err := c.Decompress(data, maxSize)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, out...), nil
+}

@@ -46,9 +46,22 @@ func GzipCompress(data []byte, level int) ([]byte, error) {
 	return append(out.b, trailer[:]...), nil
 }
 
+// maxTrailerPrealloc caps how much the decompressors pre-reserve from the
+// (unverified) ISIZE trailer field, so a forged trailer cannot force a
+// large allocation up front.
+const maxTrailerPrealloc = 1 << 20
+
 // GzipDecompress decompresses a single-member gzip stream, verifying the
 // CRC-32 and ISIZE trailer. maxSize, if positive, bounds the output size.
 func GzipDecompress(data []byte, maxSize int) ([]byte, error) {
+	return GzipDecompressAppend(nil, data, maxSize)
+}
+
+// GzipDecompressAppend is GzipDecompress appending to dst (which may be nil
+// or recycled from a pool), pre-reserving capacity from the ISIZE trailer
+// field clamped to maxSize and maxTrailerPrealloc. It returns the extended
+// slice; only the appended bytes are checksummed.
+func GzipDecompressAppend(dst, data []byte, maxSize int) ([]byte, error) {
 	if len(data) < gzipHdrLen+gzipTrailLen {
 		return nil, fmt.Errorf("%w: gzip stream too short", ErrCorrupt)
 	}
@@ -101,20 +114,52 @@ func GzipDecompress(data []byte, maxSize int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: gzip header overruns stream", ErrCorrupt)
 	}
 	body := data[pos : len(data)-gzipTrailLen]
-	out, err := Inflate(nil, bytesReader(body), maxSize)
-	if err != nil {
-		return nil, err
-	}
 	trailer := data[len(data)-gzipTrailLen:]
 	wantCRC := binary.LittleEndian.Uint32(trailer[0:4])
 	wantSize := binary.LittleEndian.Uint32(trailer[4:8])
-	if checksum.CRC32(out) != wantCRC {
+	dst = reserve(dst, int(wantSize), maxSize)
+	base := len(dst)
+	out, err := Inflate(dst, bytesReader(body), sizeBudget(base, maxSize))
+	if err != nil {
+		return nil, err
+	}
+	if checksum.CRC32(out[base:]) != wantCRC {
 		return nil, fmt.Errorf("%w: gzip CRC mismatch", ErrCorrupt)
 	}
-	if uint32(len(out)) != wantSize {
+	if uint32(len(out)-base) != wantSize {
 		return nil, fmt.Errorf("%w: gzip ISIZE mismatch", ErrCorrupt)
 	}
 	return out, nil
+}
+
+// reserve grows dst's spare capacity toward hint, clamped by maxSize and
+// maxTrailerPrealloc. The hint comes from untrusted trailer bytes, so it is
+// an optimization only — never a trusted size.
+func reserve(dst []byte, hint, maxSize int) []byte {
+	if hint <= 0 {
+		return dst
+	}
+	if maxSize > 0 && hint > maxSize {
+		hint = maxSize
+	}
+	if hint > maxTrailerPrealloc {
+		hint = maxTrailerPrealloc
+	}
+	if cap(dst)-len(dst) >= hint {
+		return dst
+	}
+	grown := make([]byte, len(dst), len(dst)+hint)
+	copy(grown, dst)
+	return grown
+}
+
+// sizeBudget converts a caller maxSize (bound on appended bytes) into the
+// absolute length bound Inflate enforces on the whole slice.
+func sizeBudget(base, maxSize int) int {
+	if maxSize <= 0 {
+		return 0
+	}
+	return base + maxSize
 }
 
 // zlib container constants (RFC 1950).
@@ -155,6 +200,13 @@ func ZlibCompress(data []byte, level int) ([]byte, error) {
 
 // ZlibDecompress decompresses a zlib stream, verifying the Adler-32 trailer.
 func ZlibDecompress(data []byte, maxSize int) ([]byte, error) {
+	return ZlibDecompressAppend(nil, data, maxSize)
+}
+
+// ZlibDecompressAppend is ZlibDecompress appending to dst (which may be nil
+// or recycled from a pool). zlib carries no size hint, so capacity grows on
+// demand; only the appended bytes are checksummed.
+func ZlibDecompressAppend(dst, data []byte, maxSize int) ([]byte, error) {
 	if len(data) < 2+zlibTrailLen {
 		return nil, fmt.Errorf("%w: zlib stream too short", ErrCorrupt)
 	}
@@ -169,12 +221,13 @@ func ZlibDecompress(data []byte, maxSize int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: preset dictionaries unsupported", ErrCorrupt)
 	}
 	body := data[2 : len(data)-zlibTrailLen]
-	out, err := Inflate(nil, bytesReader(body), maxSize)
+	base := len(dst)
+	out, err := Inflate(dst, bytesReader(body), sizeBudget(base, maxSize))
 	if err != nil {
 		return nil, err
 	}
 	want := binary.BigEndian.Uint32(data[len(data)-zlibTrailLen:])
-	if checksum.Adler32(out) != want {
+	if checksum.Adler32(out[base:]) != want {
 		return nil, fmt.Errorf("%w: adler32 mismatch", ErrCorrupt)
 	}
 	return out, nil

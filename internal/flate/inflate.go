@@ -108,7 +108,7 @@ func readDynamicHeader(br *bitio.LSBReader) (litDec, distDec *huffman.Decoder, e
 	}
 	all := make([]uint8, nlit+ndist)
 	for i := 0; i < len(all); {
-		sym, err := clDec.Decode(br)
+		sym, err := clDec.DecodeLSB(br)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: CL symbol: %v", ErrCorrupt, err)
 		}
@@ -159,14 +159,16 @@ func readDynamicHeader(br *bitio.LSBReader) (litDec, distDec *huffman.Decoder, e
 	return litDec, distDec, nil
 }
 
+// inflateHuffman is the inflate inner loop, restructured around the
+// peek/consume bit reader and the table-driven Huffman kernels: one table
+// probe per symbol instead of one reader call per bit, and back-reference
+// copies move in chunks (doubling through the overlap when dist < length)
+// instead of byte-at-a-time.
 func inflateHuffman(dst []byte, br *bitio.LSBReader, litDec, distDec *huffman.Decoder, maxSize int) ([]byte, error) {
 	for {
-		sym, err := litDec.Decode(br)
+		sym, err := litDec.DecodeLSB(br)
 		if err != nil {
 			return nil, fmt.Errorf("%w: lit/len: %v", ErrCorrupt, err)
-		}
-		if err := br.Err(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		switch {
 		case sym < 256:
@@ -176,7 +178,7 @@ func inflateHuffman(dst []byte, br *bitio.LSBReader, litDec, distDec *huffman.De
 		case sym <= 285:
 			le := lengthTable[sym-257]
 			length := int(le.base) + int(br.ReadBits(uint(le.extra)))
-			dsym, err := distDec.Decode(br)
+			dsym, err := distDec.DecodeLSB(br)
 			if err != nil {
 				return nil, fmt.Errorf("%w: dist: %v", ErrCorrupt, err)
 			}
@@ -197,8 +199,20 @@ func inflateHuffman(dst []byte, br *bitio.LSBReader, litDec, distDec *huffman.De
 			if maxSize > 0 && len(dst)+length > maxSize {
 				return nil, fmt.Errorf("%w: output exceeds limit %d", ErrCorrupt, maxSize)
 			}
-			for k := 0; k < length; k++ {
-				dst = append(dst, dst[len(dst)-dist])
+			start := len(dst) - dist
+			if dist >= length {
+				// Source and destination cannot overlap: one copy.
+				dst = append(dst, dst[start:start+length]...)
+			} else {
+				// Overlapping copy: the run doubles each append.
+				total := len(dst) + length
+				for len(dst) < total {
+					chunk := len(dst) - start
+					if rem := total - len(dst); chunk > rem {
+						chunk = rem
+					}
+					dst = append(dst, dst[start:start+chunk]...)
+				}
 			}
 		default:
 			return nil, fmt.Errorf("%w: lit/len symbol %d", ErrCorrupt, sym)

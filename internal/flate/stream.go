@@ -263,6 +263,13 @@ func (zr *Reader) emit(b byte) {
 	zr.pending = append(zr.pending, b)
 	zr.window = append(zr.window, b)
 	if len(zr.window) > 2*lz77.WindowSize {
+		zr.trimWindow()
+	}
+}
+
+// trimWindow drops all but the last WindowSize bytes of history.
+func (zr *Reader) trimWindow() {
+	if len(zr.window) > 2*lz77.WindowSize {
 		zr.window = append(zr.window[:0], zr.window[len(zr.window)-lz77.WindowSize:]...)
 	}
 }
@@ -284,15 +291,29 @@ func (zr *Reader) fill(target int) error {
 
 // step makes one unit of decoding progress.
 func (zr *Reader) step(target int) error {
-	// Finish an in-progress match first.
+	// Finish an in-progress match first. The copy runs in chunks against
+	// a fixed start offset, so an overlapping match (dist < len) doubles
+	// its span each append instead of moving one byte at a time.
 	if zr.copyLen > 0 {
-		for zr.copyLen > 0 && len(zr.pending) < target+lz77.MaxMatch {
-			if zr.copyDist > len(zr.window) {
-				return fmt.Errorf("%w: distance beyond window", ErrCorrupt)
-			}
-			zr.emit(zr.window[len(zr.window)-zr.copyDist])
-			zr.copyLen--
+		if zr.copyDist > len(zr.window) {
+			return fmt.Errorf("%w: distance beyond window", ErrCorrupt)
 		}
+		n := zr.copyLen
+		if budget := target + lz77.MaxMatch - len(zr.pending); n > budget {
+			n = budget
+		}
+		start := len(zr.window) - zr.copyDist
+		for n > 0 {
+			chunk := len(zr.window) - start
+			if chunk > n {
+				chunk = n
+			}
+			zr.pending = append(zr.pending, zr.window[start:start+chunk]...)
+			zr.window = append(zr.window, zr.window[start:start+chunk]...)
+			zr.copyLen -= chunk
+			n -= chunk
+		}
+		zr.trimWindow()
 		return nil
 	}
 	if !zr.inBlock {
@@ -331,15 +352,24 @@ func (zr *Reader) step(target int) error {
 		return nil
 	}
 	if zr.stored >= 0 {
-		// Stored block: copy bytes directly.
+		// Stored block: copy bytes through a stack scratch in chunks.
+		var buf [512]byte
 		for zr.stored > 0 && len(zr.pending) < target {
-			var b [1]byte
-			if err := zr.br.ReadBytes(b[:]); err != nil {
+			n := zr.stored
+			if n > len(buf) {
+				n = len(buf)
+			}
+			if room := target - len(zr.pending); n > room {
+				n = room
+			}
+			if err := zr.br.ReadBytes(buf[:n]); err != nil {
 				return fmt.Errorf("%w: stored payload: %v", ErrCorrupt, err)
 			}
-			zr.emit(b[0])
-			zr.stored--
+			zr.pending = append(zr.pending, buf[:n]...)
+			zr.window = append(zr.window, buf[:n]...)
+			zr.stored -= n
 		}
+		zr.trimWindow()
 		if zr.stored == 0 {
 			zr.endBlock()
 		}
@@ -347,8 +377,8 @@ func (zr *Reader) step(target int) error {
 	}
 	// Huffman block: decode symbols until the block ends or enough output.
 	for len(zr.pending) < target {
-		sym, err := zr.litDec.Decode(zr.br)
-		if err != nil || zr.br.Err() != nil {
+		sym, err := zr.litDec.DecodeLSB(zr.br)
+		if err != nil {
 			return fmt.Errorf("%w: lit/len symbol", ErrCorrupt)
 		}
 		switch {
@@ -360,7 +390,7 @@ func (zr *Reader) step(target int) error {
 		case sym <= 285:
 			le := lengthTable[sym-257]
 			length := int(le.base) + int(zr.br.ReadBits(uint(le.extra)))
-			dsym, err := zr.distDec.Decode(zr.br)
+			dsym, err := zr.distDec.DecodeLSB(zr.br)
 			if err != nil || dsym >= maxNumDist {
 				return fmt.Errorf("%w: distance symbol", ErrCorrupt)
 			}

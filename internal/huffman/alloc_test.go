@@ -1,0 +1,34 @@
+//go:build !race
+
+package huffman
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// TestDecodeLSBZeroAlloc: after the lazy table build, the fast path must
+// not allocate per symbol — it is the inflate inner loop.
+func TestDecodeLSBZeroAlloc(t *testing.T) {
+	lengths := tableCodes()["deep15"]
+	d, err := NewDecoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := randomSymbols(lengths, 512, 21)
+	enc := encodeSymbolsLSB(t, lengths, syms)
+	d.lsbTable() // build outside the measured region
+
+	br := bitio.NewLSBReader(bytes.NewReader(enc))
+	allocs := testing.AllocsPerRun(64, func() {
+		if _, err := d.DecodeLSB(br); err != nil {
+			// Reset and continue once the stream drains.
+			br = bitio.NewLSBReader(bytes.NewReader(enc))
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("DecodeLSB allocates %.2f objects per symbol, want 0", allocs)
+	}
+}

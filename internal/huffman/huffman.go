@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ErrInvalidLengths is returned when a set of code lengths does not describe
@@ -173,7 +174,11 @@ type BitSource interface {
 	ReadBit() uint64
 }
 
-// Decoder decodes canonical Huffman codes one bit at a time.
+// Decoder decodes canonical Huffman codes: one bit at a time through
+// Decode (the verified fallback), or via two-level lookup tables through
+// DecodeLSB/DecodeMSB (see table.go). Decoders are immutable after
+// construction and safe for concurrent use; the lookup tables build
+// lazily, once per orientation.
 type Decoder struct {
 	maxLen  int
 	first   [58]uint32 // first canonical code of each length
@@ -181,6 +186,11 @@ type Decoder struct {
 	count   [58]int32
 	syms    []int32 // symbols ordered by (length, symbol)
 	symbols int
+
+	lsbOnce sync.Once
+	lsb     *lookupTable
+	msbOnce sync.Once
+	msb     *lookupTable
 }
 
 // NewDecoder builds a decoder for the given canonical code lengths. Lengths

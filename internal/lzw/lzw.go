@@ -13,6 +13,7 @@ package lzw
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/bitio"
 )
@@ -158,6 +159,15 @@ func Compress(data []byte, maxBits int) ([]byte, error) {
 // Decompress decodes a .Z stream produced by Compress. maxSize, if
 // positive, bounds the decompressed size.
 func Decompress(data []byte, maxSize int) ([]byte, error) {
+	return DecompressAppend(nil, data, maxSize)
+}
+
+// DecompressAppend is Decompress appending to dst (which may be nil or
+// recycled from a pool); maxSize bounds the appended bytes. Each code's
+// string is written backwards straight into the output — the dictionary
+// tracks expansion lengths, so there is no scratch buffer and no reverse
+// pass.
+func DecompressAppend(dst, data []byte, maxSize int) ([]byte, error) {
 	if len(data) < 3 {
 		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
 	}
@@ -171,40 +181,28 @@ func Decompress(data []byte, maxSize int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: maxBits %d", ErrCorrupt, maxBits)
 	}
 	body := data[3:]
+	out := dst
+	base := len(out)
 	if len(body) == 0 {
-		return []byte{}, nil
+		if out == nil {
+			out = []byte{}
+		}
+		return out, nil
 	}
 	br := bitio.NewLSBReader(&sliceReader{b: body})
 
-	// suffix/prefixOf arrays decode codes back to strings.
+	// suffix/prefixOf map codes back to strings; lenOf caches each code's
+	// expansion length so output space is reserved before the chain walk.
 	size := 1 << maxBits
 	suffix := make([]byte, size)
 	prefixOf := make([]uint16, size)
+	lenOf := make([]int32, size)
 	for i := 0; i < 256; i++ {
 		suffix[i] = byte(i)
+		lenOf[i] = 1
 	}
 	nextCode := firstCode
 	width := uint(MinBits)
-
-	var out []byte
-	buf := make([]byte, 0, 4096) // reversed-string scratch
-
-	expand := func(code uint16) ([]byte, error) {
-		buf = buf[:0]
-		for code >= 256 {
-			if int(code) >= int(nextCode) {
-				return nil, fmt.Errorf("%w: code %d beyond table %d", ErrCorrupt, code, nextCode)
-			}
-			buf = append(buf, suffix[code])
-			code = prefixOf[code]
-		}
-		buf = append(buf, byte(code))
-		// Reverse in place.
-		for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
-			buf[i], buf[j] = buf[j], buf[i]
-		}
-		return buf, nil
-	}
 
 	readCode := func() (uint16, bool) {
 		if br.AtEOF() {
@@ -235,32 +233,49 @@ func Decompress(data []byte, maxSize int) ([]byte, error) {
 			prev = -1
 			continue
 		}
-		var s []byte
-		if prev >= 0 && int(code) == nextCode && nextCode < size {
-			// KwKwK: string is prev's string + its own first byte.
-			ps, err := expand(uint16(prev))
-			if err != nil {
-				return nil, err
-			}
-			s = append(ps, prevFirst)
+		// KwKwK: the one code the decoder has not seen yet; its string is
+		// prev's string plus prev's first byte.
+		kwkwk := prev >= 0 && int(code) == nextCode && nextCode < size
+		var n int
+		if kwkwk {
+			n = int(lenOf[prev]) + 1
 		} else {
-			var err error
-			s, err = expand(code)
-			if err != nil {
-				return nil, err
+			if int(code) >= nextCode {
+				return nil, fmt.Errorf("%w: code %d beyond table %d", ErrCorrupt, code, nextCode)
 			}
+			n = int(lenOf[code])
 		}
-		if maxSize > 0 && len(out)+len(s) > maxSize {
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: code %d has no expansion", ErrCorrupt, code)
+		}
+		if maxSize > 0 && len(out)-base+n > maxSize {
 			return nil, fmt.Errorf("%w: output exceeds limit %d", ErrCorrupt, maxSize)
 		}
-		out = append(out, s...)
+		out = slices.Grow(out, n)
+		start := len(out)
+		out = out[:start+n]
+		i := start + n - 1
+		c := code
+		if kwkwk {
+			out[i] = prevFirst
+			i--
+			c = uint16(prev)
+		}
+		for c >= 256 {
+			out[i] = suffix[c]
+			i--
+			c = prefixOf[c]
+		}
+		out[i] = byte(c)
+		first := out[start]
 		if prev >= 0 && nextCode < size {
-			suffix[nextCode] = s[0]
+			suffix[nextCode] = first
 			prefixOf[nextCode] = uint16(prev)
+			lenOf[nextCode] = lenOf[prev] + 1
 			nextCode++
 		}
 		prev = int32(code)
-		prevFirst = s[0]
+		prevFirst = first
 	}
 	if out == nil {
 		out = []byte{}

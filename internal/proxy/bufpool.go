@@ -1,0 +1,43 @@
+package proxy
+
+// Pooled bufio wrappers: the server creates one reader and one writer per
+// connection and the client one reader per attempt, so under churn these
+// 64 KiB buffers dominated the allocation profile. Reset makes them safe
+// to recycle; a pooled wrapper never retains its previous connection.
+
+import (
+	"bufio"
+	"io"
+	"sync"
+)
+
+const connBufSize = 64 * 1024
+
+var (
+	connReaderPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, connBufSize) }}
+	connWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, connBufSize) }}
+)
+
+func getConnReader(r io.Reader) *bufio.Reader {
+	br := connReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putConnReader(br *bufio.Reader) {
+	br.Reset(nil)
+	connReaderPool.Put(br)
+}
+
+func getConnWriter(w io.Writer) *bufio.Writer {
+	bw := connWriterPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return bw
+}
+
+// putConnWriter recycles bw; any unflushed bytes are dropped, so the
+// caller must Flush first on the success path.
+func putConnWriter(bw *bufio.Writer) {
+	bw.Reset(nil)
+	connWriterPool.Put(bw)
+}

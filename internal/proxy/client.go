@@ -1,7 +1,6 @@
 package proxy
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -89,6 +88,7 @@ type clientMetrics struct {
 	backoffSeconds  *obs.Histogram
 	resumedBytes    *obs.Histogram
 	attempts        *obs.Histogram
+	decompressRate  *obs.Histogram
 	errorsTransient *obs.Counter
 	errorsPermanent *obs.Counter
 }
@@ -107,6 +107,9 @@ func (c *Client) metrics() *clientMetrics {
 			attempts: reg.Histogram("client_fetch_attempts",
 				"Connections one Fetch call used (1 = no retries).",
 				[]float64{1, 2, 3, 5, 10, 20, 40}),
+			decompressRate: reg.Histogram("client_decompress_bytes_per_second",
+				"Raw bytes produced per second of decompressor busy time, one sample per attempt that decompressed blocks.",
+				[]float64{1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30}),
 			errorsTransient: reg.Counter("client_errors_transient_total",
 				"Attempt failures classified as link damage (retried)."),
 			errorsPermanent: reg.Counter("client_errors_permanent_total",
@@ -258,7 +261,8 @@ func (c *Client) listOnce() ([]string, error) {
 	if err := writeRequest(conn, request{Op: opList}); err != nil {
 		return nil, err
 	}
-	br := bufio.NewReader(conn)
+	br := getConnReader(conn)
+	defer putConnReader(br)
 	var hdr [5]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
@@ -413,7 +417,8 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, reqID ui
 	if err := writeRequest(conn, req); err != nil {
 		return out, false, err
 	}
-	br := bufio.NewReaderSize(conn, 64*1024)
+	br := getConnReader(conn)
+	defer putConnReader(br)
 	hdr, err := readGetHeader(br)
 	if err != nil {
 		return out, false, err
@@ -457,23 +462,28 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, reqID ui
 	}
 
 	// Clamp the up-front allocation: trust the claimed size only up to
-	// maxPrealloc, then grow with the bytes that actually arrive.
+	// maxPrealloc, then grow with the bytes that actually arrive. out is
+	// handed to the caller, so it cannot come from the buffer pool.
 	if need := int(hdr.RawSize); cap(out) == 0 && need > 0 {
-		pre := need
-		if pre > maxPrealloc {
-			pre = maxPrealloc
-		}
-		out = make([]byte, 0, pre)
+		out = make([]byte, 0, min(need, maxPrealloc))
 	}
 
 	// Pipeline: the receive loop (this goroutine, standing in for the
 	// kernel interrupt handler) hands blocks to the decompressor
 	// goroutine. Channel capacity 1: the decompressor works on block i
 	// while block i+1 is being received.
+	//
+	// Buffer ownership: block payloads come from the codec buffer pool
+	// (readBlock draws them); the decompressor recycles a compressed
+	// payload as soon as it is decoded, and its output rides a pooled
+	// scratch buffer that drainOne recycles after appending — so a
+	// steady-state fetch uses O(1) pooled buffers regardless of block
+	// count. A raw payload passes through to drainOne unchanged.
 	blocksCh := make(chan wireBlock, 1)
 	resultCh := make(chan decoded, 1)
 	done := make(chan struct{})
 	var decompWall time.Duration
+	var decompBytes int64
 
 	go func() {
 		defer close(done)
@@ -481,10 +491,16 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, reqID ui
 			start := time.Now()
 			var d decoded
 			if b.Flag == blockFlagCompressed {
-				raw, err := dec.Decompress(b.Payload, int(b.RawLen))
+				raw, err := codec.DecompressInto(dec, codec.GetBuf(int(b.RawLen)), b.Payload, int(b.RawLen))
+				codec.PutBuf(b.Payload)
 				if err == nil && len(raw) != int(b.RawLen) {
 					err = fmt.Errorf("%w: block raw length %d, header %d", ErrProtocol, len(raw), b.RawLen)
 				}
+				if err != nil {
+					codec.PutBuf(raw)
+					raw = nil
+				}
+				decompBytes += int64(len(raw))
 				d = decoded{data: raw, err: err}
 			} else {
 				d = decoded{data: b.Payload}
@@ -511,6 +527,7 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, reqID ui
 			return d.err
 		}
 		out = append(out, d.data...)
+		codec.PutBuf(d.data)
 		// readBlock guarantees a raw block's payload matches its RawLen and
 		// the decompressor checks the same for compressed blocks, so the
 		// rawPromised budget already bounds this; re-check here so the
@@ -536,6 +553,7 @@ recvLoop:
 		}
 		rawPromised += uint64(b.RawLen)
 		if rawPromised > hdr.RawSize {
+			codec.PutBuf(b.Payload)
 			recvErr = fmt.Errorf("%w: blocks claim %d raw bytes, header says %d", ErrProtocol, rawPromised, hdr.RawSize)
 			break
 		}
@@ -548,6 +566,7 @@ recvLoop:
 		// Keep at most one result outstanding so memory stays bounded.
 		for pending > 1 {
 			if err := drainOne(); err != nil {
+				codec.PutBuf(b.Payload) // b never reached the decompressor
 				recvErr = err
 				break recvLoop
 			}
@@ -569,6 +588,12 @@ recvLoop:
 		// (Section 4.1's interleaving), so this phase overlaps recv: it
 		// starts inside the recv window and carries only busy time.
 		span.PhaseDetail("decompress", obs.ClassCPU, attemptDetail+", overlaps recv", recvStart, decompWall, 0)
+		if decompBytes > 0 {
+			// Decompression throughput is what the paper's td term models
+			// (td = 0.161*s + 0.161*sc + 0.004): the faster this phase, the
+			// less CPU time competes with the radio's tail energy.
+			c.metrics().decompressRate.Observe(float64(decompBytes) / decompWall.Seconds())
+		}
 	}
 
 	if recvErr != nil {

@@ -268,6 +268,9 @@ func writeEnd(w io.Writer, crc uint32) error {
 // allocation, and the payload must match its frame CRC — a block that
 // readBlock accepts is verified, which is what makes resume offsets safe
 // to trust.
+//
+// The payload buffer is drawn from the codec buffer pool; the caller owns
+// it and should hand it back with codec.PutBuf once the block is consumed.
 func readBlock(r io.Reader) (b wireBlock, crc uint32, ok bool, err error) {
 	var hdr [blockHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -295,11 +298,13 @@ func readBlock(r io.Reader) (b wireBlock, crc uint32, ok bool, err error) {
 	if b.Flag == blockFlagRaw && payLen != b.RawLen {
 		return wireBlock{}, 0, false, fmt.Errorf("%w: raw block claims %d raw bytes but carries %d", ErrProtocol, b.RawLen, payLen)
 	}
-	b.Payload = make([]byte, payLen)
+	b.Payload = codec.GetBuf(int(payLen))[:payLen]
 	if _, err := io.ReadFull(r, b.Payload); err != nil {
+		codec.PutBuf(b.Payload)
 		return wireBlock{}, 0, false, fmt.Errorf("%w: truncated payload: %v", ErrProtocol, err)
 	}
 	if crcOf(b.Payload) != binary.BigEndian.Uint32(hdr[9:13]) {
+		codec.PutBuf(b.Payload)
 		return wireBlock{}, 0, false, fmt.Errorf("%w: block payload CRC mismatch", ErrProtocol)
 	}
 	return b, 0, true, nil

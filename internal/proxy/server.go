@@ -448,8 +448,10 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handle(conn net.Conn) (err error) {
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriterSize(conn, 64*1024)
+	br := getConnReader(conn)
+	defer putConnReader(br)
+	bw := getConnWriter(conn)
+	defer putConnWriter(bw)
 	defer bw.Flush()
 
 	span := s.tracer.Start("serve")

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Benchmark-trajectory harness: runs the codec dataplane benchmarks with
+# -benchmem and writes BENCH_codec.json (ns/op, MB/s, B/op, allocs/op per
+# benchmark, plus the committed pre-optimization baseline from
+# scripts/bench_baseline.json). Commit the refreshed snapshot alongside
+# performance work so the trajectory of the kernels stays in the history.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2s; e.g. 100x for a smoke run)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+OUT=BENCH_codec.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+# The decompression kernels and their enclosing dataplane paths.
+go test -run '^$' \
+	-bench 'BenchmarkCodecGzipDecompress$|BenchmarkCodecGzipCompress$|BenchmarkCodecCompressDecompress$|BenchmarkCodecBzip2Decompress$|BenchmarkStreamingGzipRoundTrip$|BenchmarkProxyFetchLoopback$' \
+	-benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkDecodeWalker$|BenchmarkDecodeTable$' \
+	-benchmem -benchtime "$BENCHTIME" ./internal/huffman | tee -a "$RAW"
+
+{
+	printf '{\n'
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "cpu": "%s",\n' "$(sed -n 's/^cpu: //p' "$RAW" | head -n 1)"
+	printf '  "baseline": '
+	if [ -f scripts/bench_baseline.json ]; then
+		cat scripts/bench_baseline.json
+	else
+		printf 'null'
+	fi
+	printf ',\n  "results": [\n'
+	awk '
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			ns = ""; mbps = ""; bop = ""; aop = ""
+			for (i = 3; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i-1)
+				if ($i == "MB/s") mbps = $(i-1)
+				if ($i == "B/op") bop = $(i-1)
+				if ($i == "allocs/op") aop = $(i-1)
+			}
+			if (!first) first = 1; else printf ",\n"
+			printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, $2, ns
+			if (mbps != "") printf ", \"mb_per_s\": %s", mbps
+			if (bop != "") printf ", \"bytes_per_op\": %s", bop
+			if (aop != "") printf ", \"allocs_per_op\": %s", aop
+			printf "}"
+		}
+		END { printf "\n" }
+	' "$RAW"
+	printf '  ]\n}\n'
+} >"$OUT"
+
+echo "wrote $OUT"

@@ -40,6 +40,17 @@ go test -race -run 'TestObservabilityEndToEnd|TestPermanentErrorClassification' 
 
 go test -run='^$' -fuzz=FuzzReadRequest -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzReadBlockFrame -fuzztime=10s ./internal/proxy
+go test -run='^$' -fuzz=FuzzGzipDifferential -fuzztime=10s ./internal/flate
+
+# Decompression-kernel gates, without -race (the race runtime changes
+# allocation counts): the pooled dataplane must stay O(1) buffers per
+# block, the table-driven Huffman fast path must stay zero-alloc per
+# symbol, and a 100x bench smoke proves every dataplane benchmark still
+# runs (scripts/bench.sh is the full trajectory harness).
+go test -run 'TestReadBlockPooledAllocs|TestGetBufRecycles' -count=1 ./internal/proxy
+go test -run 'TestDecodeLSBZeroAlloc' -count=1 ./internal/huffman
+go test -run '^$' -bench 'BenchmarkCodec' -benchtime=100x .
+go test -run '^$' -bench 'BenchmarkDecodeTable$' -benchtime=100x ./internal/huffman
 
 # Admin-plane smoke: a real proxyd with -admin must answer /healthz,
 # count a real fetch in /metrics, /statsz and /tracez, and exit cleanly
