@@ -11,14 +11,25 @@
 // fig8 fig9 fig11 fig12 fig13 thresholds upload ablation-levels
 // ablation-blocksize ablation-meter all. (Figure 10 is the algorithm
 // itself: internal/selective.)
+//
+// The soak subcommand replays a deterministic multi-client scenario on the
+// virtual testbed (internal/harness) and checks every invariant oracle:
+//
+//	energysim soak -seed 42
+//	energysim soak -seed 42 -clients 4 -fetches 10 -fault 0.02 -trace
+//
+// The same seed always produces a byte-identical trace, so any soak
+// failure CI reports can be replayed locally from its printed seed.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/harness"
 )
 
 func main() {
@@ -29,6 +40,9 @@ func main() {
 }
 
 func run() error {
+	if len(os.Args) > 1 && os.Args[1] == "soak" {
+		return runSoak(os.Args[2:])
+	}
 	var (
 		scale  = flag.Float64("scale", 0.125, "corpus size scale for large files")
 		nLarge = flag.Int("large", 0, "limit to first N large files (0 = all)")
@@ -52,6 +66,59 @@ func run() error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println(out)
+	}
+	return nil
+}
+
+// runSoak runs one seeded soak scenario on the virtual testbed, prints
+// either the full canonical trace or a digest summary, and fails (exit 1)
+// if any invariant oracle is violated.
+func runSoak(argv []string) error {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 1, "scenario seed; same seed => byte-identical trace")
+		clients = fs.Int("clients", 10, "concurrent clients")
+		fetches = fs.Int("fetches", 50, "fetches per client")
+		fault   = fs.Float64("fault", 0.01, "per-operation fault probability (fragment/reset/truncate/bit-flip)")
+		churn   = fs.Int("churn", 100, "cache-churn re-registrations over the run (0 = off)")
+		trace   = fs.Bool("trace", false, "print the full canonical trace instead of the digest")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	sc := harness.Default(*seed)
+	sc.Clients = *clients
+	sc.FetchesPerClient = *fetches
+	sc.FaultRate = *fault
+	sc.Churn = *churn
+
+	r, err := harness.Run(sc)
+	if err != nil {
+		return err
+	}
+	tr := r.Trace()
+	if *trace {
+		fmt.Print(tr)
+	} else {
+		ok, retried := 0, 0
+		for _, rec := range r.Records {
+			if rec.Err == "" {
+				ok++
+			}
+			if rec.Stats.Attempts > 1 {
+				retried++
+			}
+		}
+		sum := sha256.Sum256([]byte(tr))
+		fmt.Printf("soak seed=%d: %d fetches (%d ok, %d retried) in %s virtual; trace sha256=%x\n",
+			*seed, len(r.Records), ok, retried, r.Elapsed, sum[:8])
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintln(os.Stderr, "oracle violation:", v)
+	}
+	if len(r.Violations) > 0 {
+		return fmt.Errorf("soak seed=%d: %d oracle violations (replay: energysim soak -seed %d -clients %d -fetches %d -fault %g -churn %d -trace)",
+			*seed, len(r.Violations), *seed, *clients, *fetches, *fault, *churn)
 	}
 	return nil
 }

@@ -8,19 +8,32 @@ package repro_test
 import (
 	"bytes"
 	"math"
+	"net"
 	"testing"
+	"time"
 
 	"repro"
+	"repro/internal/simnet"
 	"repro/internal/workload"
 )
 
 // TestCorpusThroughProxyAllModes serves a miniature full corpus and
 // fetches every file in every mode with every scheme, verifying content.
+// The sweep runs over the deterministic virtual testbed (internal/simnet)
+// at the paper's 11 Mb/s WaveLAN effective rate: connection deadlines and
+// transfer pacing advance the simulated clock, so the test spends wall
+// time only on real compute, never on sockets or sleeps.
 func TestCorpusThroughProxyAllModes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-corpus proxy sweep")
 	}
-	srv := repro.NewProxyServer(nil)
+	clock := simnet.NewClock()
+	nw := simnet.NewNetwork(clock, simnet.WaveLAN11())
+	ln, err := nw.Listen("proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := repro.NewProxyServerWith(nil, repro.ProxyConfig{Clock: clock})
 	specs := repro.ScaledCorpus(0.01)
 	contents := make(map[string][]byte, len(specs))
 	for _, s := range specs {
@@ -28,47 +41,57 @@ func TestCorpusThroughProxyAllModes(t *testing.T) {
 		contents[s.Name] = data
 		srv.Register(s.Name, data)
 	}
-	addr, err := srv.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
+	srv.Serve(ln)
 	defer srv.Close()
-	cli := repro.NewProxyClient(addr)
-
-	names, err := cli.List()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(names) != len(specs) {
-		t.Fatalf("listed %d files, registered %d", len(names), len(specs))
-	}
+	cli := repro.NewProxyClient("proxy")
+	cli.Clock = clock
+	cli.Dial = func() (net.Conn, error) { return nw.Dial("proxy") }
+	cli.Timeout = 5 * time.Minute
 
 	fetches, cacheable := 0, 0
-	for _, name := range names {
-		for _, scheme := range []repro.Scheme{repro.Gzip, repro.Compress, repro.Bzip2, repro.Zlib} {
-			for _, mode := range []repro.ProxyClientMode{repro.ProxyRaw, repro.ProxyOnDemand, repro.ProxySelective} {
-				got, stats, err := cli.Fetch(name, scheme, mode)
-				if err != nil {
-					t.Fatalf("%s/%v/%v: %v", name, scheme, mode, err)
-				}
-				if !bytes.Equal(got, contents[name]) {
-					t.Fatalf("%s/%v/%v: content mismatch", name, scheme, mode)
-				}
-				if stats.RawBytes != len(contents[name]) {
-					t.Fatalf("%s/%v/%v: raw bytes %d", name, scheme, mode, stats.RawBytes)
-				}
-				fetches++
-				if mode != repro.ProxyRaw {
-					cacheable++
+	clock.Run(func() {
+		names, err := cli.List()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(names) != len(specs) {
+			t.Errorf("listed %d files, registered %d", len(names), len(specs))
+			return
+		}
+
+		for _, name := range names {
+			for _, scheme := range []repro.Scheme{repro.Gzip, repro.Compress, repro.Bzip2, repro.Zlib} {
+				for _, mode := range []repro.ProxyClientMode{repro.ProxyRaw, repro.ProxyOnDemand, repro.ProxySelective} {
+					got, stats, err := cli.Fetch(name, scheme, mode)
+					if err != nil {
+						t.Errorf("%s/%v/%v: %v", name, scheme, mode, err)
+						return
+					}
+					if !bytes.Equal(got, contents[name]) {
+						t.Errorf("%s/%v/%v: content mismatch", name, scheme, mode)
+						return
+					}
+					if stats.RawBytes != len(contents[name]) {
+						t.Errorf("%s/%v/%v: raw bytes %d", name, scheme, mode, stats.RawBytes)
+						return
+					}
+					fetches++
+					if mode != repro.ProxyRaw {
+						cacheable++
+					}
 				}
 			}
 		}
-	}
 
-	// Repeat one compressing fetch: the sharded artifact cache must serve
-	// it without re-compressing.
-	if _, _, err := cli.Fetch(names[0], repro.Gzip, repro.ProxyOnDemand); err != nil {
-		t.Fatal(err)
+		// Repeat one compressing fetch: the sharded artifact cache must
+		// serve it without re-compressing.
+		if _, _, err := cli.Fetch(names[0], repro.Gzip, repro.ProxyOnDemand); err != nil {
+			t.Error(err)
+		}
+	})
+	if t.Failed() {
+		return
 	}
 	st := srv.Stats()
 	if st.CacheHits < 1 {

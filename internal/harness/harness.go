@@ -1,0 +1,349 @@
+// Package harness is the deterministic soak testbed: it runs the
+// unmodified proxy server and N concurrent retrying clients over the
+// virtual 802.11b network (internal/simnet), entirely in virtual time,
+// from a single seed. One Run executes a seeded scenario schedule —
+// clients × fetches across schemes and modes, client-side fault plans
+// (internal/proxy/faultconn), cache churn — and then checks a set of
+// invariant oracles over everything that happened: byte-exact payloads,
+// server/client counter reconciliation, energy-accounting conservation
+// against the paper's Eq. 1/Eq. 3 model, monotone resume offsets, and
+// zero leaked goroutines.
+//
+// The same seed produces a byte-identical canonical trace (Report.Trace),
+// which is what the CI soak gate diffs and what `energysim soak -seed N`
+// replays. The trace deliberately excludes wall/virtual timestamps and
+// scheduling-dependent counters (cache hits, coalesced flights): those
+// vary with goroutine interleaving even though every client's wire
+// behavior — attempt counts, fault draws, resume offsets, byte counts —
+// is fully determined by the seed.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"net"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/obs"
+	"repro/internal/proxy"
+	"repro/internal/proxy/faultconn"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// Scenario is one seeded soak configuration. The zero value of any field
+// selects the default noted on it; Default() is the CI soak shape.
+type Scenario struct {
+	// Seed determines everything: corpus content, per-client schedules,
+	// fault plans, link jitter, backoff jitter and request IDs.
+	Seed int64
+	// Clients is the number of concurrent handheld clients (default 10).
+	Clients int
+	// FetchesPerClient is each client's schedule length (default 50).
+	FetchesPerClient int
+	// FaultRate is the per-I/O-call probability of each of the four
+	// client-side fault modes (fragment, reset, truncate, bit-flip).
+	// Zero injects no faults.
+	FaultRate float64
+	// Link models the shared 802.11b medium; the zero value selects the
+	// paper's 11 Mb/s WaveLAN effective rate with 2 ms hop latency and
+	// 10% transmit jitter. Each dial derives its own jitter seed.
+	Link simnet.Link
+	// Churn is how many times the churn actor re-registers a (randomly
+	// chosen) corpus file mid-run, bumping its generation and dropping
+	// its cached artifacts without changing its bytes (default 0).
+	Churn int
+	// MaxRetries is each client's retry budget per fetch (default 30).
+	MaxRetries int
+	// Timeout is the per-attempt connection deadline in virtual time
+	// (default 2 minutes — far beyond any healthy transfer).
+	Timeout time.Duration
+}
+
+// Default is the CI soak shape: 10 clients × 50 fetches (500 total), all
+// four fault modes at 1%, cache churn on.
+func Default(seed int64) Scenario {
+	return Scenario{Seed: seed, FaultRate: 0.01, Churn: 100}
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Clients <= 0 {
+		s.Clients = 10
+	}
+	if s.FetchesPerClient <= 0 {
+		s.FetchesPerClient = 50
+	}
+	if s.Link == (simnet.Link{}) {
+		s.Link = simnet.WaveLAN11()
+		s.Link.JitterFrac = 0.10
+	}
+	if s.MaxRetries <= 0 {
+		s.MaxRetries = 30
+	}
+	if s.Timeout <= 0 {
+		s.Timeout = 2 * time.Minute
+	}
+	return s
+}
+
+// FaultModes reports how many distinct fault modes the scenario injects.
+func (s Scenario) FaultModes() int {
+	if s.FaultRate > 0 {
+		return 4 // fragment, reset, truncate, bit-flip
+	}
+	return 0
+}
+
+// corpusFile is one generated workload file served by the scenario.
+type corpusFile struct {
+	name    string
+	class   workload.Class
+	size    int
+	content []byte
+	crc     uint32
+}
+
+// corpusSpec pins the corpus shape: a sub-threshold file (< 3900 B, which
+// selective mode must send raw), text/markup/source/binary/random classes
+// spanning Table 2's compressibility bands, and a multi-block file
+// (> 128 kB, so resume offsets land on interior block boundaries).
+var corpusSpec = []struct {
+	name  string
+	class workload.Class
+	size  int
+}{
+	{"tiny.txt", workload.ClassMail, 2_000},
+	{"small.xml", workload.ClassXML, 6_000},
+	{"mail.txt", workload.ClassMail, 20_000},
+	{"page.html", workload.ClassHTML, 40_000},
+	{"noise.dat", workload.ClassRandom, 50_000},
+	{"src.c", workload.ClassSource, 64_000},
+	{"app.bin", workload.ClassBinary, 72_000},
+	{"access.log", workload.ClassWebLog, 96_000},
+	{"site.tar", workload.ClassTarHTML, 200_000},
+}
+
+// buildCorpus generates the scenario's file set from its seed.
+func buildCorpus(seed int64) []corpusFile {
+	out := make([]corpusFile, len(corpusSpec))
+	for i, sp := range corpusSpec {
+		content := workload.Generate(sp.class, sp.size, uint64(mix(seed, int64(100+i))))
+		out[i] = corpusFile{name: sp.name, class: sp.class, size: sp.size,
+			content: content, crc: crc32.ChecksumIEEE(content)}
+	}
+	return out
+}
+
+// FetchRecord is one fetch's deterministic outcome.
+type FetchRecord struct {
+	Client, Index int
+	Name          string
+	Scheme        codec.Scheme
+	Mode          proxy.Mode
+	// Err is "" on success, otherwise a stable error class
+	// (busy/notfound/protocol/err) — never a raw error string, so the
+	// trace stays byte-stable across Go versions.
+	Err   string
+	Raw   int
+	CRC   uint32
+	Stats proxy.FetchStats
+}
+
+// Report is everything one Run produced: the per-fetch records in
+// client-major order, the server counter snapshot, each client's span
+// ring, and any oracle violations.
+type Report struct {
+	Scenario Scenario
+	Records  []FetchRecord
+	Stats    proxy.Stats
+	// Spans holds each client's fetch spans, oldest first; span k of
+	// client i is fetch k (the tracer ring is sized to hold them all).
+	Spans [][]obs.SpanData
+	// Elapsed is the virtual time the client schedules took. It is
+	// informational and excluded from the canonical trace.
+	Elapsed    time.Duration
+	Violations []string
+}
+
+// OK reports whether every oracle passed.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Trace renders the canonical scenario trace: one header line, then one
+// line per fetch in client-major order. Two runs of the same scenario
+// must produce byte-identical traces; anything scheduling-dependent
+// (timestamps, cache hit/miss split, joule floats) is deliberately absent.
+func (r *Report) Trace() string {
+	var b strings.Builder
+	s := r.Scenario
+	fmt.Fprintf(&b, "soak seed=%d clients=%d fetches=%d fault=%.4f link=%.0fBps lat=%s jitter=%.2f churn=%d\n",
+		s.Seed, s.Clients, s.FetchesPerClient, s.FaultRate,
+		s.Link.BytesPerSec, s.Link.Latency, s.Link.JitterFrac, s.Churn)
+	for _, rec := range r.Records {
+		status := rec.Err
+		if status == "" {
+			status = "ok"
+		}
+		fmt.Fprintf(&b, "c%02d f%03d %s %s %s %s raw=%d crc=%08x attempts=%d resumed=%d wire=%d blocks=%d/%d\n",
+			rec.Client, rec.Index, rec.Name, rec.Scheme, rec.Mode, status,
+			rec.Raw, rec.CRC, rec.Stats.Attempts, rec.Stats.ResumedBytes,
+			rec.Stats.WireBytes, rec.Stats.BlocksCompressed, rec.Stats.BlocksTotal)
+	}
+	return b.String()
+}
+
+// errClass folds an error into a stable trace token.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, proxy.ErrBusy):
+		return "busy"
+	case errors.Is(err, proxy.ErrNotFound):
+		return "notfound"
+	case errors.Is(err, proxy.ErrProtocol):
+		return "protocol"
+	default:
+		return "err"
+	}
+}
+
+// mix spreads (seed, salt) into an independent rng seed (SplitMix64-ish),
+// so nearby salts give uncorrelated streams.
+func mix(seed, salt int64) int64 {
+	z := uint64(seed) ^ (uint64(salt)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+var schemes = []codec.Scheme{codec.Gzip, codec.Compress, codec.Bzip2}
+var modes = []proxy.Mode{proxy.ModeRaw, proxy.ModePrecompressed, proxy.ModeOnDemand, proxy.ModeSelective}
+
+// Run executes the scenario and checks every oracle. The returned error
+// covers harness plumbing failures only; oracle violations land in
+// Report.Violations so a caller can print them alongside the trace.
+func Run(s Scenario) (*Report, error) {
+	s = s.withDefaults()
+	goroutinesBefore := runtime.NumGoroutine()
+
+	corpus := buildCorpus(s.Seed)
+	clock := simnet.NewClock()
+	nw := simnet.NewNetwork(clock, s.Link)
+	ln, err := nw.Listen("proxy")
+	if err != nil {
+		return nil, err
+	}
+	srv := proxy.NewServerWith(nil, proxy.Config{
+		Clock: clock,
+		// Never shed: ConnsTotal == Σ attempts must hold exactly, and a
+		// busy-shed path would couple one client's timeline to another's.
+		MaxConns: s.Clients + 2,
+	})
+	for _, f := range corpus {
+		srv.Register(f.name, f.content)
+	}
+	srv.Serve(ln)
+
+	records := make([][]FetchRecord, s.Clients)
+	tracers := make([]*obs.Tracer, s.Clients)
+	done := make(chan int, s.Clients+1)
+	running := 0
+
+	for i := 0; i < s.Clients; i++ {
+		i := i
+		tracer := obs.NewTracer(s.FetchesPerClient + 1)
+		tracers[i] = tracer
+		records[i] = make([]FetchRecord, 0, s.FetchesPerClient)
+		running++
+		clock.Go(func() {
+			defer func() { done <- i }()
+			sched := rand.New(rand.NewSource(mix(s.Seed, int64(1000+i))))
+			plan := faultconn.Plan{
+				Seed:         mix(s.Seed, int64(3000+i)),
+				FragmentProb: s.FaultRate,
+				ResetProb:    s.FaultRate,
+				TruncateProb: s.FaultRate,
+				BitFlipProb:  s.FaultRate,
+			}
+			var dials int64
+			cli := proxy.NewClient("proxy")
+			cli.Clock = clock
+			cli.Timeout = s.Timeout
+			cli.MaxRetries = s.MaxRetries
+			cli.RetryBaseDelay = 10 * time.Millisecond
+			cli.RetryMaxDelay = 200 * time.Millisecond
+			cli.Rand = rand.New(rand.NewSource(mix(s.Seed, int64(2000+i))))
+			cli.Tracer = tracer
+			// Each dial gets its own jitter seed (via DialLink) and its own
+			// fault stream (via plan.Wrap's per-id rng), both derived from
+			// (scenario seed, client, dial ordinal) — so a client's wire
+			// behavior replays exactly regardless of how the other clients
+			// interleave with it.
+			cli.Dial = func() (net.Conn, error) {
+				dials++
+				link := s.Link
+				link.Seed = mix(s.Seed, int64(i)*1_000_000+dials)
+				conn, err := nw.DialLink("proxy", link)
+				if err != nil {
+					return nil, err
+				}
+				return plan.Wrap(conn, dials), nil
+			}
+
+			// Stagger starts so the schedule is not one synchronized burst.
+			clock.Sleep(time.Duration(i) * time.Millisecond)
+			for j := 0; j < s.FetchesPerClient; j++ {
+				f := corpus[sched.Intn(len(corpus))]
+				scheme := schemes[sched.Intn(len(schemes))]
+				mode := modes[sched.Intn(len(modes))]
+				got, stats, err := cli.Fetch(f.name, scheme, mode)
+				rec := FetchRecord{Client: i, Index: j, Name: f.name,
+					Scheme: scheme, Mode: mode, Err: errClass(err), Stats: stats}
+				if err == nil {
+					rec.Raw = len(got)
+					rec.CRC = crc32.ChecksumIEEE(got)
+				}
+				records[i] = append(records[i], rec)
+				clock.Sleep(time.Duration(sched.Intn(20)) * time.Millisecond)
+			}
+		})
+	}
+
+	if s.Churn > 0 {
+		running++
+		clock.Go(func() {
+			defer func() { done <- -1 }()
+			rng := rand.New(rand.NewSource(mix(s.Seed, 4000)))
+			for k := 0; k < s.Churn; k++ {
+				clock.Sleep(time.Duration(20+rng.Intn(20)) * time.Millisecond)
+				f := corpus[rng.Intn(len(corpus))]
+				// Same bytes, new generation: drops cached artifacts so the
+				// dataplane re-compresses, without perturbing any payload
+				// oracle or resume offset.
+				srv.Register(f.name, f.content)
+			}
+		})
+	}
+
+	for running > 0 {
+		<-done
+		running--
+	}
+	elapsed := clock.Elapsed()
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
+
+	r := &Report{Scenario: s, Stats: srv.Stats(), Elapsed: elapsed}
+	for i := 0; i < s.Clients; i++ {
+		r.Records = append(r.Records, records[i]...)
+		r.Spans = append(r.Spans, tracers[i].Snapshot())
+	}
+	r.runOracles(corpus, goroutinesBefore)
+	return r, nil
+}

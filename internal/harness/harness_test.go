@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSoakDeterministicTrace: the same seed must produce a byte-identical
+// canonical trace twice in a row — the replay guarantee `energysim soak
+// -seed N` and the CI gate rest on. A different seed must diverge (if it
+// did not, the trace would not actually capture the schedule).
+func TestSoakDeterministicTrace(t *testing.T) {
+	sc := Scenario{Seed: 7, Clients: 4, FetchesPerClient: 8, FaultRate: 0.01, Churn: 10}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := a.Trace(), b.Trace()
+	if ta != tb {
+		la, lb := strings.Split(ta, "\n"), strings.Split(tb, "\n")
+		for i := range la {
+			if i >= len(lb) || la[i] != lb[i] {
+				t.Fatalf("trace diverged at line %d:\n  run1: %s\n  run2: %s", i, la[i], lb[i])
+			}
+		}
+		t.Fatalf("trace diverged in length: %d vs %d lines", len(la), len(lb))
+	}
+	sc.Seed = 8
+	c, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Trace() == ta {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestSoakDefaultScenario is the full CI soak in-process: ≥500 fetches
+// across 10 clients with all four fault modes live and cache churn, every
+// oracle green, finishing in bounded wall time because all link and
+// backoff waiting happens in virtual time.
+func TestSoakDefaultScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full soak")
+	}
+	sc := Default(11)
+	wallStart := time.Now()
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(wallStart)
+	for _, v := range r.Violations {
+		t.Errorf("oracle violation: %s", v)
+	}
+	if got := len(r.Records); got < 500 {
+		t.Fatalf("soak ran %d fetches, want >= 500", got)
+	}
+	if modes := sc.FaultModes(); modes < 4 {
+		t.Fatalf("soak injected %d fault modes, want >= 4", modes)
+	}
+	okCnt, retried := 0, 0
+	for _, rec := range r.Records {
+		if rec.Err == "" {
+			okCnt++
+		}
+		if rec.Stats.Attempts > 1 {
+			retried++
+		}
+	}
+	if okCnt < len(r.Records)*9/10 {
+		t.Errorf("only %d/%d fetches succeeded", okCnt, len(r.Records))
+	}
+	if retried == 0 {
+		t.Error("fault plan never fired; the soak is not exercising retries")
+	}
+	if r.Elapsed <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+	t.Logf("soak: %d fetches (%d ok, %d retried) in %v virtual, %v wall; %s",
+		len(r.Records), okCnt, retried, r.Elapsed, wall, strings.TrimSpace(strings.SplitN(r.Trace(), "\n", 2)[0]))
+	if wall > 30*time.Second {
+		t.Errorf("soak took %v of wall time, budget 30s", wall)
+	}
+}
+
+// TestSoakFaultFreeExactReconciliation: with no faults every fetch takes
+// exactly one attempt and the counter oracle tightens to equalities
+// (Requests == ConnsTotal == fetches, zero errors, payload bytes served
+// == payload bytes received). Any slack here means the ledger lies.
+func TestSoakFaultFreeExactReconciliation(t *testing.T) {
+	sc := Scenario{Seed: 3, Clients: 5, FetchesPerClient: 10, Churn: 5}
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.Violations {
+		t.Errorf("oracle violation: %s", v)
+	}
+	for _, rec := range r.Records {
+		if rec.Err != "" {
+			t.Errorf("fault-free fetch failed: c%02d f%03d %s: %s", rec.Client, rec.Index, rec.Name, rec.Err)
+		}
+		if rec.Stats.Attempts != 1 {
+			t.Errorf("fault-free fetch used %d attempts: c%02d f%03d", rec.Stats.Attempts, rec.Client, rec.Index)
+		}
+		if rec.Stats.ResumedBytes != 0 {
+			t.Errorf("fault-free fetch resumed %d bytes: c%02d f%03d", rec.Stats.ResumedBytes, rec.Client, rec.Index)
+		}
+	}
+	if r.Stats.ConnsTotal != int64(len(r.Records)) {
+		t.Errorf("ConnsTotal %d != %d fetches", r.Stats.ConnsTotal, len(r.Records))
+	}
+}
+
+// TestSoakChurnForcesRecompression: generation bumps must drop cached
+// artifacts — a churned run performs more compressions than a quiet one
+// with the same schedule — without breaking a single payload.
+func TestSoakChurnForcesRecompression(t *testing.T) {
+	quiet := Scenario{Seed: 5, Clients: 4, FetchesPerClient: 10}
+	churned := quiet
+	churned.Churn = 40
+	rq, err := Run(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Run(churned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range append(rq.Violations, rc.Violations...) {
+		t.Errorf("oracle violation: %s", v)
+	}
+	if rc.Stats.Compressions <= rq.Stats.Compressions {
+		t.Errorf("churned run compressed %d artifacts, quiet run %d — churn is not dropping the cache",
+			rc.Stats.Compressions, rq.Stats.Compressions)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/obs"
 	"repro/internal/selective"
+	"repro/internal/sim"
 )
 
 // Client defaults.
@@ -77,8 +78,49 @@ type Client struct {
 	// request ID (the same ID the server logs). Nil discards.
 	Logger *slog.Logger
 
+	// Clock supplies the time source for connection deadlines, retry
+	// backoff sleeps and span phase timestamps; nil selects the host
+	// clock. The deterministic testbed (internal/simnet) injects its
+	// virtual clock here, so a retrying fetch's backoff advances
+	// simulated time instead of stalling the test for real seconds.
+	Clock sim.WallClock
+	// Dial, when set, replaces TCP dialing entirely (DialTimeout is then
+	// unused; Timeout still applies as a connection deadline). The
+	// testbed injects a virtual-network dialer — optionally wrapped in a
+	// faultconn plan — through this hook.
+	Dial func() (net.Conn, error)
+	// Rand, when set, drives the retry backoff jitter and request-ID
+	// minting, making one client's wire behavior reproducible from a
+	// seed. Nil uses the global math/rand source. A non-nil Rand must not
+	// be shared with other goroutines.
+	Rand *rand.Rand
+
 	metricsOnce sync.Once
 	cm          clientMetrics
+}
+
+// clock resolves the configured or default time source.
+func (c *Client) clock() sim.WallClock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return sim.SystemClock{}
+}
+
+// randInt63n draws from the injected source, or the global one.
+func (c *Client) randInt63n(n int64) int64 {
+	if c.Rand != nil {
+		return c.Rand.Int63n(n)
+	}
+	return rand.Int63n(n)
+}
+
+// randUint64 draws from the injected source, or the global one.
+func (c *Client) randUint64() uint64 {
+	if c.Rand != nil {
+		return c.Rand.Uint64()
+	}
+	return rand.Uint64()
 }
 
 // clientMetrics are the handheld-side instruments, resolved lazily from
@@ -177,19 +219,25 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 		d = maxd
 	}
 	if half := d / 2; half > 0 {
-		d = half + time.Duration(rand.Int63n(int64(half)+1))
+		d = half + time.Duration(c.randInt63n(int64(half)+1))
 	}
 	return d
 }
 
 // dial connects and applies the per-call deadline.
 func (c *Client) dial() (net.Conn, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	var conn net.Conn
+	var err error
+	if c.Dial != nil {
+		conn, err = c.Dial()
+	} else {
+		conn, err = net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if c.Timeout > 0 {
-		if err := conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+		if err := conn.SetDeadline(c.clock().Now().Add(c.Timeout)); err != nil {
 			conn.Close()
 			return nil, err
 		}
@@ -246,9 +294,10 @@ func (c *Client) withRetries(op func() error) error {
 		if attempt >= c.MaxRetries || !transient {
 			return err
 		}
-		start := time.Now()
-		time.Sleep(c.backoffDelay(attempt))
-		cm.backoffSeconds.Observe(time.Since(start).Seconds())
+		clk := c.clock()
+		start := clk.Now()
+		clk.Sleep(c.backoffDelay(attempt))
+		cm.backoffSeconds.Observe(clk.Now().Sub(start).Seconds())
 	}
 }
 
@@ -317,7 +366,7 @@ func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, Fet
 	// The request ID is minted once per Fetch and shared by every retry
 	// attempt, so the server's logs and /tracez spans correlate all the
 	// connections one logical fetch opened.
-	reqID := rand.Uint64()
+	reqID := c.randUint64()
 	span := c.Tracer.Start("fetch")
 	span.SetAttr("req_id", obs.ReqID(reqID))
 	span.SetAttr("name", name)
@@ -356,9 +405,10 @@ func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, Fet
 			return nil, stats, err
 		}
 		log.Debug("retrying after transient failure", "attempt", stats.Attempts, "err", err)
-		bstart := time.Now()
-		time.Sleep(c.backoffDelay(attempt))
-		slept := time.Since(bstart)
+		clk := c.clock()
+		bstart := clk.Now()
+		clk.Sleep(c.backoffDelay(attempt))
+		slept := clk.Now().Sub(bstart)
 		stats.BackoffSlept += slept
 		cm.backoffSeconds.Observe(slept.Seconds())
 		span.PhaseDetail("backoff", "", fmt.Sprintf("after attempt %d", stats.Attempts), bstart, slept, 0)
@@ -404,15 +454,20 @@ func (c *Client) chargeSpan(span *obs.Span, stats FetchStats) {
 func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, reqID uint64, verified []byte, stats *FetchStats, span *obs.Span) (out []byte, reset bool, err error) {
 	attemptDetail := fmt.Sprintf("attempt %d", stats.Attempts)
 	out = verified
-	dialStart := time.Now()
+	// Radio-facing phases (dial, header, recv) are stamped from the
+	// injected clock, so under the virtual testbed a span's timeline shows
+	// the modeled link time, not host-scheduler noise. CPU busy phases
+	// (decompress) keep host-time durations — that is what they measure.
+	clk := c.clock()
+	dialStart := clk.Now()
 	conn, err := c.dial()
-	span.PhaseDetail("dial", obs.ClassRadio, attemptDetail, dialStart, time.Since(dialStart), 0)
+	span.PhaseDetail("dial", obs.ClassRadio, attemptDetail, dialStart, clk.Now().Sub(dialStart), 0)
 	if err != nil {
 		return out, false, err
 	}
 	defer conn.Close()
 
-	hdrStart := time.Now()
+	hdrStart := clk.Now()
 	req := request{Op: opGet, Name: name, Scheme: scheme, Mode: mode, Offset: uint64(len(verified)), ReqID: reqID}
 	if err := writeRequest(conn, req); err != nil {
 		return out, false, err
@@ -427,7 +482,7 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, reqID ui
 	// that died at dial or mid-header contributes nothing, so WireBytes
 	// stays honest across retries.
 	stats.WireBytes += getHeaderLen
-	span.PhaseDetail("header", obs.ClassRadio, attemptDetail, hdrStart, time.Since(hdrStart), getHeaderLen)
+	span.PhaseDetail("header", obs.ClassRadio, attemptDetail, hdrStart, clk.Now().Sub(hdrStart), getHeaderLen)
 	// The header survived its CRC, so its status and fields are the
 	// server's honest answer: size/scheme violations are permanent, not
 	// link damage.
@@ -453,7 +508,7 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, reqID ui
 	stats.ResumedBytes += int(hdr.Offset)
 	if hdr.Offset > 0 {
 		c.metrics().resumedBytes.Observe(float64(hdr.Offset))
-		span.PhaseDetail("resume", "", attemptDetail, time.Now(), 0, int64(hdr.Offset))
+		span.PhaseDetail("resume", "", attemptDetail, clk.Now(), 0, int64(hdr.Offset))
 	}
 
 	dec, err := codec.New(hdr.Scheme, 0)
@@ -514,7 +569,7 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, reqID ui
 	var wantCRC uint32
 	var recvErr error
 	pending := 0
-	recvStart := time.Now()
+	recvStart := clk.Now()
 	recvBytes := 0
 	// rawPromised tracks the raw bytes the accepted block headers have
 	// claimed so far; it may never exceed the header's total.
@@ -582,7 +637,7 @@ recvLoop:
 	}
 	<-done
 	stats.DecompressWall += decompWall
-	span.PhaseDetail("recv", obs.ClassRadio, attemptDetail, recvStart, time.Since(recvStart), int64(recvBytes))
+	span.PhaseDetail("recv", obs.ClassRadio, attemptDetail, recvStart, clk.Now().Sub(recvStart), int64(recvBytes))
 	if decompWall > 0 {
 		// The decompressor goroutine runs concurrently with reception
 		// (Section 4.1's interleaving), so this phase overlaps recv: it
@@ -604,7 +659,8 @@ recvLoop:
 	}
 	verifyStart := time.Now()
 	contentCRC := crcOf(out)
-	span.PhaseDetail("verify", obs.ClassCPU, attemptDetail, verifyStart, time.Since(verifyStart), 0)
+	verifyWall := time.Since(verifyStart)
+	span.PhaseDetail("verify", obs.ClassCPU, attemptDetail, clk.Now(), verifyWall, 0)
 	if contentCRC != wantCRC {
 		// Every block passed its frame CRC, so a whole-content mismatch
 		// means the pieces come from different file generations: poison

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/proxy/faultconn"
+	"repro/internal/simnet"
 	"repro/internal/workload"
 )
 
@@ -222,35 +223,75 @@ func TestEndFrameCorruptionPreservesResume(t *testing.T) {
 	}
 }
 
-// TestFetchRetriesBusy: the ErrBusy contract ("safe to retry") is now
+// busyServerFixture stands up a MaxConns=1 server on the virtual network
+// and returns the clock, network and a ledger-aware client. The whole
+// busy/retry dance — hog occupies the only slot, the fetch backs off,
+// the hog's slot frees 100 virtual milliseconds later — runs in virtual
+// time, so these tests are immune to host-scheduler stalls that used to
+// make the real-time versions flaky.
+func busyServerFixture(t *testing.T) (*simnet.Clock, *simnet.Network, *Server, *Client) {
+	t.Helper()
+	clock := simnet.NewClock()
+	nw := simnet.NewNetwork(clock, simnet.Link{BytesPerSec: 1e6, Latency: time.Millisecond})
+	ln, err := nw.Listen("proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWith(nil, Config{MaxConns: 1, Clock: clock})
+	srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	cli := NewClient("proxy")
+	cli.Clock = clock
+	cli.Dial = func() (net.Conn, error) { return nw.Dial("proxy") }
+	cli.Timeout = 10 * time.Second
+	cli.MaxRetries = 40
+	cli.RetryBaseDelay = 10 * time.Millisecond
+	cli.RetryMaxDelay = 50 * time.Millisecond
+	return clock, nw, srv, cli
+}
+
+// hogSlot (called from inside the clock ledger) occupies the server's
+// single connection slot with a silent connection and schedules its
+// release 100 virtual milliseconds out — the point of the tests is that
+// the retrying client rides through. It must run in the same Clock.Run
+// as the retrying call: were it in its own Run, the clock would race to
+// the release instant the moment that Run's ledger emptied, and the
+// retry path under test would never see a busy server.
+func hogSlot(t *testing.T, clock *simnet.Clock, nw *simnet.Network) {
+	t.Helper()
+	hog, err := nw.Dial("proxy")
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	clock.Go(func() {
+		clock.Sleep(100 * time.Millisecond)
+		hog.Close()
+	})
+}
+
+// TestFetchRetriesBusy: the ErrBusy contract ("safe to retry") is
 // honored — a fetch that lands on a saturated server succeeds once the
-// slot frees up.
+// slot frees up. Runs entirely in virtual time: the backoff sleeps and
+// the hog's 100 ms occupancy advance the simnet clock, not the wall.
 func TestFetchRetriesBusy(t *testing.T) {
 	content := workload.Generate(workload.ClassMail, 10_000, 9)
-	srv := NewServerWith(nil, Config{MaxConns: 1})
+	clock, nw, srv, cli := busyServerFixture(t)
 	srv.Register("f", content)
-	addr, err := srv.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
 
-	// Occupy the single connection slot with a client that says nothing,
-	// then release it shortly after the fetch starts retrying.
-	hog, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
-	go func() {
-		time.Sleep(100 * time.Millisecond)
-		hog.Close()
-	}()
-
-	cli := retryingClient(addr)
-	cli.RetryBaseDelay = 10 * time.Millisecond
-	got, stats, err := cli.Fetch("f", codec.Gzip, ModeSelective)
-	if err != nil {
-		t.Fatalf("fetch through busy server: %v", err)
+	var got []byte
+	var stats FetchStats
+	clock.Run(func() {
+		hogSlot(t, clock, nw)
+		var err error
+		got, stats, err = cli.Fetch("f", codec.Gzip, ModeSelective)
+		if err != nil {
+			t.Errorf("fetch through busy server: %v", err)
+		}
+	})
+	if t.Failed() {
+		return
 	}
 	if !bytes.Equal(got, content) {
 		t.Fatal("content mismatch")
@@ -260,30 +301,23 @@ func TestFetchRetriesBusy(t *testing.T) {
 	}
 }
 
-// TestListRetriesBusy: List honors the same retry contract.
+// TestListRetriesBusy: List honors the same retry contract, also in
+// virtual time.
 func TestListRetriesBusy(t *testing.T) {
-	srv := NewServerWith(nil, Config{MaxConns: 1})
+	clock, nw, srv, cli := busyServerFixture(t)
 	srv.Register("f", []byte("x"))
-	addr, err := srv.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
 
-	hog, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
-	go func() {
-		time.Sleep(100 * time.Millisecond)
-		hog.Close()
-	}()
-
-	cli := retryingClient(addr)
-	cli.RetryBaseDelay = 10 * time.Millisecond
-	names, err := cli.List()
-	if err != nil {
-		t.Fatalf("list through busy server: %v", err)
+	var names []string
+	clock.Run(func() {
+		hogSlot(t, clock, nw)
+		var err error
+		names, err = cli.List()
+		if err != nil {
+			t.Errorf("list through busy server: %v", err)
+		}
+	})
+	if t.Failed() {
+		return
 	}
 	if len(names) != 1 || names[0] != "f" {
 		t.Fatalf("names = %v", names)

@@ -71,6 +71,16 @@ const (
 	blockHeaderLen = 1 + 4 + 4 + 4
 )
 
+// Exported frame sizes: the soak harness (internal/harness) reconciles
+// the client's WireBytes ledger against the server's payload counters,
+// which requires knowing the per-frame overhead it read.
+const (
+	// GetHeaderLen is the wire size of a GET response header frame.
+	GetHeaderLen = getHeaderLen
+	// BlockHeaderLen is the wire size of a block (or end) frame header.
+	BlockHeaderLen = blockHeaderLen
+)
+
 // Mode is the transfer mode requested by the client.
 type Mode byte
 

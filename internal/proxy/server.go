@@ -15,6 +15,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/obs"
 	"repro/internal/selective"
+	"repro/internal/sim"
 )
 
 // ErrClosing is returned to requests caught by a server shutdown.
@@ -46,6 +47,12 @@ type Config struct {
 	// (internal/proxy/faultconn) plugs into, so the whole stack can be
 	// exercised over a deliberately hostile link.
 	WrapConn func(net.Conn) net.Conn
+	// Clock supplies the time source for connection deadlines and the
+	// latency histogram; nil selects the host clock. The deterministic
+	// testbed (internal/simnet) injects its virtual clock here, which
+	// keeps the server's deadlines on the same timeline as the virtual
+	// link it is serving over.
+	Clock sim.WallClock
 
 	// Metrics is the registry the server's instruments live on; sharing
 	// one registry between a server and its admin endpoint (or several
@@ -96,6 +103,7 @@ type Server struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	log    *slog.Logger
+	clock  sim.WallClock
 
 	mu    sync.Mutex
 	files map[string][]byte
@@ -169,6 +177,10 @@ func NewServerWith(decider selective.Decider, cfg Config) *Server {
 	if logger == nil {
 		logger = obs.NopLogger()
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = sim.SystemClock{}
+	}
 	s := &Server{
 		decider:   decider,
 		deciderFP: deciderFingerprint(decider),
@@ -176,6 +188,7 @@ func NewServerWith(decider selective.Decider, cfg Config) *Server {
 		reg:       reg,
 		tracer:    tracer,
 		log:       logger,
+		clock:     clock,
 		metrics:   newMetrics(reg),
 		files:     make(map[string][]byte),
 		gens:      make(map[string]uint64),
@@ -354,10 +367,18 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.Serve(ln), nil
+}
+
+// Serve starts accepting connections on an already-bound listener and
+// returns its address. This is how the deterministic testbed hands the
+// server a virtual (internal/simnet) listener; Listen is the TCP
+// convenience wrapper around it.
+func (s *Server) Serve(ln net.Listener) string {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 func (s *Server) acceptLoop() {
@@ -380,7 +401,7 @@ func (s *Server) acceptLoop() {
 			go func() {
 				defer s.wg.Done()
 				defer conn.Close()
-				_ = conn.SetDeadline(time.Now().Add(time.Second))
+				_ = conn.SetDeadline(s.clock.Now().Add(time.Second))
 				_ = writeGetHeader(conn, getHeader{Status: statusBusy})
 				// Absorb the client's request before closing so the close
 				// does not RST the busy reply out of its receive buffer.
@@ -392,12 +413,12 @@ func (s *Server) acceptLoop() {
 		s.trackConn(conn, true)
 		s.wg.Add(1)
 		go func() {
-			start := time.Now()
+			start := s.clock.Now()
 			s.metrics.connsTotal.Add(1)
 			s.metrics.connsActive.Add(1)
 			defer func() {
 				s.metrics.connsActive.Add(-1)
-				s.metrics.observeLatency(time.Since(start))
+				s.metrics.observeLatency(s.clock.Now().Sub(start))
 				s.trackConn(conn, false)
 				conn.Close()
 				<-s.connSem
@@ -439,7 +460,7 @@ func (s *Server) Close() error {
 		// proceed untouched.
 		s.connMu.Lock()
 		for conn := range s.conns {
-			_ = conn.SetReadDeadline(time.Now())
+			_ = conn.SetReadDeadline(s.clock.Now())
 		}
 		s.connMu.Unlock()
 		s.wg.Wait()
@@ -463,7 +484,7 @@ func (s *Server) handle(conn net.Conn) (err error) {
 
 	// A client must present its whole request within ReadTimeout, and the
 	// full response must drain within WriteTimeout.
-	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+	if err := conn.SetReadDeadline(s.clock.Now().Add(s.cfg.ReadTimeout)); err != nil {
 		return err
 	}
 	readStart := time.Now()
@@ -474,7 +495,7 @@ func (s *Server) handle(conn net.Conn) (err error) {
 	span.Phase("read-request", "", readStart, time.Since(readStart), 0)
 	span.SetAttr("req_id", obs.ReqID(req.ReqID))
 	s.metrics.requests.Add(1)
-	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+	if err := conn.SetWriteDeadline(s.clock.Now().Add(s.cfg.WriteTimeout)); err != nil {
 		return err
 	}
 	switch req.Op {

@@ -1,0 +1,137 @@
+package selective
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+// Property tests for the Equation 6 decision procedure. These do not
+// check particular numbers; they check the shape of the decision surface
+// that the selective scheme's correctness argument rests on.
+
+// TestDecisionMonotoneInCompressionRatio: for a fixed raw size, "compress"
+// must be monotone in the compression factor — if Eq. 6 says compress at
+// factor f, it must also say compress at every better factor. A violation
+// would mean the decider can flip back to "don't compress" as compression
+// gets MORE effective, which breaks the threshold-factor framing of
+// Section 4.3 (compress iff f exceeds a per-size threshold). Checked for
+// both the paper's literal constants and the first-principles model,
+// across seeded random raw sizes spanning both branches of Eq. 6.
+func TestDecisionMonotoneInCompressionRatio(t *testing.T) {
+	model := ModelDecider{Params: energy.Params11Mbps()}
+	deciders := []struct {
+		name string
+		fn   func(raw, comp int) bool
+	}{
+		{"paper", PaperDecider{}.ShouldCompress},
+		{"model", model.ShouldCompress},
+	}
+	rng := rand.New(rand.NewSource(61))
+	var sizes []int
+	for i := 0; i < 200; i++ {
+		// Cover below and above the 0.128 MB branch point, and the exact
+		// block size the selective encoder feeds the decider.
+		sizes = append(sizes, 1+rng.Intn(2_000_000))
+	}
+	sizes = append(sizes, 1, 3_899, 3_900, 127_999, 128_000, BlockSize, 1_000_000)
+
+	for _, d := range deciders {
+		for _, raw := range sizes {
+			// Sweep compressed size downward (factor improves); once the
+			// decision turns true it must never turn false again.
+			turned := false
+			for comp := raw; comp >= 1; comp -= 1 + comp/64 {
+				got := d.fn(raw, comp)
+				if turned && !got {
+					t.Fatalf("%s: non-monotone decision at raw=%d: compress at a worse factor but not at comp=%d",
+						d.name, raw, comp)
+				}
+				turned = turned || got
+			}
+			// Sanity anchors: no decider may compress when the output is
+			// not smaller, and a near-infinite factor on a large file must
+			// compress.
+			if d.fn(raw, raw) {
+				t.Fatalf("%s: compresses at factor 1.0 (raw=%d)", d.name, raw)
+			}
+			if raw >= 128_000 && !d.fn(raw, 1) {
+				t.Fatalf("%s: refuses to compress raw=%d at factor %d", d.name, raw, raw)
+			}
+		}
+	}
+}
+
+// TestDecisionMonotoneThresholdFactor cross-checks the sweep against the
+// model's closed-form threshold: the decision must flip exactly where
+// ThresholdFactor says it does (within one sweep step).
+func TestDecisionMonotoneThresholdFactor(t *testing.T) {
+	p := energy.Params11Mbps()
+	d := ModelDecider{Params: p}
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 100; i++ {
+		raw := 10_000 + rng.Intn(1_500_000)
+		thr := p.ThresholdFactor(float64(raw) / 1e6)
+		if thr <= 1 {
+			continue
+		}
+		// Just below the threshold factor: must not compress; comfortably
+		// above: must compress. (±2% keeps clear of the boundary itself.)
+		below := int(float64(raw) / (thr * 0.98))
+		above := int(float64(raw) / (thr * 1.02))
+		if below > 0 && d.ShouldCompress(raw, below) {
+			t.Fatalf("raw=%d: compresses below threshold factor %.3f", raw, thr)
+		}
+		if above > 0 && !d.ShouldCompress(raw, above) {
+			t.Fatalf("raw=%d: refuses above threshold factor %.3f", raw, thr)
+		}
+	}
+}
+
+// TestSelectiveNeverWorseThanRaw is the paper's headline claim for the
+// adaptive scheme ("the compression tool no longer incurs higher energy
+// cost than no compression for any file"), stated as an exact property of
+// the model-driven decider: for ANY input, summing the Table 1 energy
+// model over the encoder's per-block choices can never exceed sending
+// every block raw. This holds by construction — a block is compressed only
+// when InterleavedEnergy beats DownloadEnergy for that block — and this
+// test pins the construction against regressions in either the encoder's
+// decision plumbing or the model.
+func TestSelectiveNeverWorseThanRaw(t *testing.T) {
+	p := energy.Params11Mbps()
+	d := ModelDecider{Params: p}
+	c := codec.MustNew(codec.Zlib, 0)
+	rng := rand.New(rand.NewSource(63))
+
+	classes := []workload.Class{
+		workload.ClassMail, workload.ClassHTML, workload.ClassXML,
+		workload.ClassSource, workload.ClassRandom, workload.ClassBinary,
+	}
+	for i := 0; i < 60; i++ {
+		class := classes[rng.Intn(len(classes))]
+		size := 1 + rng.Intn(900_000)
+		data := workload.Generate(class, size, uint64(1000+i))
+
+		enc, err := Encode(data, c, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var selective, allRaw float64
+		for _, b := range enc.Blocks {
+			s := float64(b.RawLen) / 1e6
+			allRaw += p.DownloadEnergy(s)
+			if b.Compressed {
+				selective += p.InterleavedEnergy(s, float64(len(b.Payload))/1e6)
+			} else {
+				selective += p.DownloadEnergy(s)
+			}
+		}
+		if selective > allRaw {
+			t.Errorf("%v/%dB: selective modeled energy %.6f J > all-raw %.6f J",
+				class, size, selective, allRaw)
+		}
+	}
+}

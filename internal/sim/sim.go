@@ -95,5 +95,19 @@ func (k *Kernel) RunUntil(t time.Duration) {
 	}
 }
 
+// Step pops and runs the single earliest event, advancing the clock to
+// its time. It reports false (and leaves the clock alone) when the queue
+// is empty. Concurrent drivers (internal/simnet) advance the kernel one
+// event at a time through here, under their own lock.
+func (k *Kernel) Step() bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.pq).(*event)
+	k.now = e.at
+	e.fn()
+	return true
+}
+
 // Pending reports the number of queued events.
 func (k *Kernel) Pending() int { return len(k.pq) }

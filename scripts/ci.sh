@@ -2,9 +2,12 @@
 # CI gate: vet + lint + build + full test suite under the race detector
 # (which includes the fault-injection stress test and the malicious-server
 # suite), then an explicit race-mode pass over the hostile-wire and
-# telemetry tests, a short fuzz pass over both PXY3 wire-format parsers,
-# and an admin-plane smoke test over real HTTP. Every change to the proxy
-# dataplane, wire path or telemetry layer must keep this green.
+# telemetry tests, short fuzz passes over the PXY3 wire-format and SEL1
+# container parsers, a deterministic virtual-time soak with invariant
+# oracles (fixed seeds plus one printed random seed for replay), a
+# per-package coverage ratchet, and an admin-plane smoke test over real
+# HTTP. Every change to the proxy dataplane, wire path or telemetry layer
+# must keep this green.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -41,6 +44,49 @@ go test -race -run 'TestObservabilityEndToEnd|TestPermanentErrorClassification' 
 go test -run='^$' -fuzz=FuzzReadRequest -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzReadBlockFrame -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzGzipDifferential -fuzztime=10s ./internal/flate
+go test -run='^$' -fuzz=FuzzSELRoundTrip -fuzztime=10s ./internal/selective
+go test -run='^$' -fuzz=FuzzSELParse -fuzztime=10s ./internal/selective
+
+# Deterministic soak gate: seeded multi-client scenarios on the virtual
+# testbed (internal/harness) with every invariant oracle armed — byte-exact
+# payloads, counter reconciliation, energy conservation, monotone resume,
+# goroutine leaks. Two fixed seeds pin known-good schedules; one wall-clock
+# seed explores a fresh schedule every run and prints itself so any failure
+# is replayable. The replay guarantee itself is gated by running seed 1
+# twice and requiring byte-identical traces.
+SOAK="go run ./cmd/energysim soak -clients 4 -fetches 10"
+$SOAK -seed 1
+$SOAK -seed 2
+$SOAK -seed 1 -trace >/tmp/soak-a.$$ && $SOAK -seed 1 -trace >/tmp/soak-b.$$
+cmp /tmp/soak-a.$$ /tmp/soak-b.$$
+rm -f /tmp/soak-a.$$ /tmp/soak-b.$$
+RANDOM_SEED=$(date +%s)
+echo "soak random seed: $RANDOM_SEED (replay: go run ./cmd/energysim soak -seed $RANDOM_SEED -clients 4 -fetches 10 -trace)"
+$SOAK -seed "$RANDOM_SEED"
+
+# Coverage ratchet: per-package floors a few points under current levels,
+# so test deletions and untested subsystems fail loudly. Raise a floor when
+# a package's coverage rises; never lower one to make a change pass.
+check_cover() {
+	pkg=$1
+	floor=$2
+	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "coverage gate: no coverage reported for $pkg" >&2
+		return 1
+	fi
+	if [ "$(awk -v p="$pct" -v f="$floor" 'BEGIN{print (p < f) ? 1 : 0}')" = 1 ]; then
+		echo "coverage gate: $pkg at ${pct}%, floor is ${floor}%" >&2
+		return 1
+	fi
+	echo "coverage: $pkg ${pct}% (floor ${floor}%)"
+}
+check_cover ./internal/proxy 88
+check_cover ./internal/simnet 80
+check_cover ./internal/selective 89
+check_cover ./internal/harness 77
+check_cover ./internal/obs 84
+check_cover ./internal/energy 87
 
 # Decompression-kernel gates, without -race (the race runtime changes
 # allocation counts): the pooled dataplane must stay O(1) buffers per
