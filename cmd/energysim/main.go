@@ -17,7 +17,11 @@
 //
 //	energysim soak -seed 42
 //	energysim soak -seed 42 -clients 4 -fetches 10 -fault 0.02 -trace
+//	energysim soak -scenario testdata/scenarios/rate-cliff.scn -seed 1 -trace
 //
+// With -scenario the soak shape comes from a declarative spec file
+// (internal/scenario) — fleet size, link schedule, workload corpus and
+// expected-outcome bounds — and the ad-hoc shape flags are ignored.
 // The same seed always produces a byte-identical trace, so any soak
 // failure CI reports can be replayed locally from its printed seed.
 package main
@@ -30,6 +34,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/harness"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -72,27 +77,46 @@ func run() error {
 
 // runSoak runs one seeded soak scenario on the virtual testbed, prints
 // either the full canonical trace or a digest summary, and fails (exit 1)
-// if any invariant oracle is violated.
+// if any invariant oracle or scenario bound is violated — the error
+// names the first violation so CI logs lead with the actual failure,
+// not just a count.
 func runSoak(argv []string) error {
 	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
 	var (
-		seed    = fs.Int64("seed", 1, "scenario seed; same seed => byte-identical trace")
-		clients = fs.Int("clients", 10, "concurrent clients")
-		fetches = fs.Int("fetches", 50, "fetches per client")
-		fault   = fs.Float64("fault", 0.01, "per-operation fault probability (fragment/reset/truncate/bit-flip)")
-		churn   = fs.Int("churn", 100, "cache-churn re-registrations over the run (0 = off)")
-		trace   = fs.Bool("trace", false, "print the full canonical trace instead of the digest")
+		seed     = fs.Int64("seed", 1, "scenario seed; same seed => byte-identical trace")
+		specPath = fs.String("scenario", "", "declarative scenario spec file; overrides the shape flags")
+		clients  = fs.Int("clients", 10, "concurrent clients")
+		fetches  = fs.Int("fetches", 50, "fetches per client")
+		fault    = fs.Float64("fault", 0.01, "per-operation fault probability (fragment/reset/truncate/bit-flip)")
+		churn    = fs.Int("churn", 100, "cache-churn re-registrations over the run (0 = off)")
+		trace    = fs.Bool("trace", false, "print the full canonical trace instead of the digest")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
-	sc := harness.Default(*seed)
-	sc.Clients = *clients
-	sc.FetchesPerClient = *fetches
-	sc.FaultRate = *fault
-	sc.Churn = *churn
 
-	r, err := harness.Run(sc)
+	var (
+		r      *harness.Report
+		err    error
+		replay string
+	)
+	if *specPath != "" {
+		spec, serr := scenario.Load(*specPath)
+		if serr != nil {
+			return serr
+		}
+		r, err = spec.Run(*seed)
+		replay = fmt.Sprintf("energysim soak -scenario %s -seed %d -trace", *specPath, *seed)
+	} else {
+		sc := harness.Default(*seed)
+		sc.Clients = *clients
+		sc.FetchesPerClient = *fetches
+		sc.FaultRate = *fault
+		sc.Churn = *churn
+		r, err = harness.Run(sc)
+		replay = fmt.Sprintf("energysim soak -seed %d -clients %d -fetches %d -fault %g -churn %d -trace",
+			*seed, *clients, *fetches, *fault, *churn)
+	}
 	if err != nil {
 		return err
 	}
@@ -117,8 +141,8 @@ func runSoak(argv []string) error {
 		fmt.Fprintln(os.Stderr, "oracle violation:", v)
 	}
 	if len(r.Violations) > 0 {
-		return fmt.Errorf("soak seed=%d: %d oracle violations (replay: energysim soak -seed %d -clients %d -fetches %d -fault %g -churn %d -trace)",
-			*seed, len(r.Violations), *seed, *clients, *fetches, *fault, *churn)
+		return fmt.Errorf("soak seed=%d: %d oracle violations; first: %s (replay: %s)",
+			*seed, len(r.Violations), r.Violations[0], replay)
 	}
 	return nil
 }

@@ -1,0 +1,192 @@
+// Command loadgen executes one declarative scenario spec with a large
+// fleet of virtual clients on the deterministic testbed and reports the
+// fleet's service metrics: fetch-latency percentiles (virtual time),
+// modeled joules per raw megabyte with the paper's radio/cpu/idle
+// split, and per-scheme delivery throughput. It is the load-generation
+// face of the same machinery `energysim soak` gates on — the open-lambda
+// style "many tiny clients, one shared platform" shape — so a 10,000
+// client run is still seed-replayable and still checked by every
+// invariant oracle and expect bound.
+//
+// Usage:
+//
+//	loadgen -spec testdata/scenarios/loadgen/fleet-10k.scn -seed 1
+//	loadgen -spec spec.scn -clients 500 -fetches 3 -metrics
+//
+// Exit status is non-zero if any oracle or bound is violated; the
+// first violation is printed so CI logs lead with the failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		specPath = flag.String("spec", "", "scenario spec file to execute (required)")
+		seed     = flag.Int64("seed", 1, "fleet seed; same seed => byte-identical run")
+		clients  = flag.Int("clients", 0, "override the spec's client count")
+		fetches  = flag.Int("fetches", 0, "override the spec's fetches per client")
+		metrics  = flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	spec, err := scenario.Load(*specPath)
+	if err != nil {
+		return err
+	}
+	if *clients > 0 {
+		spec.Clients = *clients
+	}
+	if *fetches > 0 {
+		spec.Fetches = *fetches
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	rep, err := spec.Run(*seed)
+	if err != nil {
+		return err
+	}
+	report(os.Stdout, spec.Name, *seed, rep, time.Since(start))
+	if *metrics {
+		if err := obs.WritePrometheus(os.Stdout, fleetRegistry(rep).Snapshot()); err != nil {
+			return err
+		}
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintln(os.Stderr, "violation:", v)
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("%s seed=%d: %d violations; first: %s (replay: loadgen -spec %s -seed %d)",
+			spec.Name, *seed, len(rep.Violations), rep.Violations[0], *specPath, *seed)
+	}
+	return nil
+}
+
+// schemeStat accumulates per-(scheme, mode) delivery totals.
+type schemeStat struct {
+	key     string
+	fetches int
+	rawMB   float64
+	virtual time.Duration
+}
+
+// report prints the fleet summary: outcome counts, latency percentiles
+// over successful fetches, the energy account, and per-scheme
+// throughput (raw MB delivered per virtual second spent fetching it).
+func report(w *os.File, name string, seed int64, rep *harness.Report, wall time.Duration) {
+	ok := 0
+	var lat []time.Duration
+	perScheme := map[string]*schemeStat{}
+	for _, rec := range rep.Records {
+		if rec.Err != "" {
+			continue
+		}
+		ok++
+		lat = append(lat, rec.Virtual)
+		key := fmt.Sprintf("%s/%s", rec.Scheme, rec.Mode)
+		st := perScheme[key]
+		if st == nil {
+			st = &schemeStat{key: key}
+			perScheme[key] = st
+		}
+		st.fetches++
+		st.rawMB += float64(rec.Raw) / 1e6
+		st.virtual += rec.Virtual
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+
+	fmt.Fprintf(w, "loadgen %s seed=%d: %d clients, %d/%d fetches ok in %s virtual (%s wall)\n",
+		name, seed, rep.Scenario.Clients, ok, len(rep.Records), rep.Elapsed, wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "latency: p50=%s p99=%s p999=%s max=%s\n",
+		pct(lat, 0.50), pct(lat, 0.99), pct(lat, 0.999), pct(lat, 1))
+
+	joules, rawMB := rep.EnergyDelivered()
+	if rawMB > 0 {
+		fmt.Fprintf(w, "energy: %.1f J for %.2f raw MB = %.2f J/MB", joules, rawMB, joules/rawMB)
+		byClass := rep.EnergyByClass()
+		for _, class := range []string{"radio", "cpu", "idle"} {
+			if j, ok := byClass[class]; ok {
+				fmt.Fprintf(w, " (%s %.1f%%)", class, 100*j/joules)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	keys := make([]string, 0, len(perScheme))
+	for k := range perScheme {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := perScheme[k]
+		thru := 0.0
+		if st.virtual > 0 {
+			thru = st.rawMB / st.virtual.Seconds()
+		}
+		fmt.Fprintf(w, "scheme %-24s %6d fetches %8.2f MB %8.3f MB/s\n", st.key, st.fetches, st.rawMB, thru)
+	}
+}
+
+// pct reads the q-quantile from an ascending latency slice.
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// fleetRegistry folds the finished run into an obs registry so the
+// fleet shows up on the same metrics plane as the live dataplane:
+// counters for fetch outcomes and bytes, a histogram for latency.
+func fleetRegistry(rep *harness.Report) *obs.Registry {
+	reg := obs.NewRegistry()
+	okC := reg.Counter("loadgen_fetches_ok_total", "successful fetches")
+	errC := reg.Counter("loadgen_fetches_err_total", "failed fetches")
+	rawC := reg.Counter("loadgen_raw_bytes_total", "raw payload bytes delivered")
+	wireC := reg.Counter("loadgen_wire_bytes_total", "wire bytes carried for delivered payloads")
+	// Virtual-latency buckets from 1 ms to ~2 min, doubling.
+	bounds := make([]float64, 0, 18)
+	for ms := 1.0; ms <= 131072; ms *= 2 {
+		bounds = append(bounds, ms/1e3)
+	}
+	latH := reg.Histogram("loadgen_fetch_latency_seconds", "per-fetch virtual latency", bounds)
+	for _, rec := range rep.Records {
+		if rec.Err != "" {
+			errC.Inc()
+			continue
+		}
+		okC.Inc()
+		rawC.Add(int64(rec.Raw))
+		wireC.Add(int64(rec.Stats.WireBytes))
+		latH.Observe(rec.Virtual.Seconds())
+	}
+	return reg
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"math/rand"
 	"net"
 	"runtime"
@@ -38,7 +39,13 @@ import (
 
 // Scenario is one seeded soak configuration. The zero value of any field
 // selects the default noted on it; Default() is the CI soak shape.
+// Scenarios are built two ways: literally in Go (the tests below) or
+// compiled from an on-disk declarative spec by internal/scenario.
 type Scenario struct {
+	// Name labels the scenario in the canonical trace header; empty reads
+	// as "default". Spec-driven scenarios carry their spec name so golden
+	// traces from different specs can never be confused.
+	Name string
 	// Seed determines everything: corpus content, per-client schedules,
 	// fault plans, link jitter, backoff jitter and request IDs.
 	Seed int64
@@ -63,6 +70,27 @@ type Scenario struct {
 	// Timeout is the per-attempt connection deadline in virtual time
 	// (default 2 minutes — far beyond any healthy transfer).
 	Timeout time.Duration
+	// Corpus, when non-empty, replaces the built-in nine-file corpus:
+	// each entry is generated from the scenario seed by content class or,
+	// when Ratio is set, by the compressibility knob. Entries must have
+	// unique names.
+	Corpus []CorpusEntry
+	// Schedule, when non-empty, scripts the shared medium over virtual
+	// time — rate cliffs and power-save pauses — via simnet.SetSchedule.
+	// It reshapes timing only: wire behavior (and so the canonical trace)
+	// stays pinned by the seed.
+	Schedule []simnet.Phase
+}
+
+// CorpusEntry is one generated workload file of a custom scenario corpus.
+// Exactly one of Class / Ratio describes its content: a Table 3 content
+// class, or a target gzip compression factor for the synthetic knob
+// (workload.GenerateRatio).
+type CorpusEntry struct {
+	Name  string
+	Class workload.Class
+	Ratio float64
+	Size  int
 }
 
 // Default is the CI soak shape: 10 clients × 50 fetches (500 total), all
@@ -108,35 +136,67 @@ type corpusFile struct {
 	crc     uint32
 }
 
-// corpusSpec pins the corpus shape: a sub-threshold file (< 3900 B, which
-// selective mode must send raw), text/markup/source/binary/random classes
-// spanning Table 2's compressibility bands, and a multi-block file
-// (> 128 kB, so resume offsets land on interior block boundaries).
-var corpusSpec = []struct {
-	name  string
-	class workload.Class
-	size  int
-}{
-	{"tiny.txt", workload.ClassMail, 2_000},
-	{"small.xml", workload.ClassXML, 6_000},
-	{"mail.txt", workload.ClassMail, 20_000},
-	{"page.html", workload.ClassHTML, 40_000},
-	{"noise.dat", workload.ClassRandom, 50_000},
-	{"src.c", workload.ClassSource, 64_000},
-	{"app.bin", workload.ClassBinary, 72_000},
-	{"access.log", workload.ClassWebLog, 96_000},
-	{"site.tar", workload.ClassTarHTML, 200_000},
+// defaultCorpus pins the built-in corpus shape: a sub-threshold file
+// (< 3900 B, which selective mode must send raw), text/markup/source/
+// binary/random classes spanning Table 2's compressibility bands, and a
+// multi-block file (> 128 kB, so resume offsets land on interior block
+// boundaries).
+var defaultCorpus = []CorpusEntry{
+	{Name: "tiny.txt", Class: workload.ClassMail, Size: 2_000},
+	{Name: "small.xml", Class: workload.ClassXML, Size: 6_000},
+	{Name: "mail.txt", Class: workload.ClassMail, Size: 20_000},
+	{Name: "page.html", Class: workload.ClassHTML, Size: 40_000},
+	{Name: "noise.dat", Class: workload.ClassRandom, Size: 50_000},
+	{Name: "src.c", Class: workload.ClassSource, Size: 64_000},
+	{Name: "app.bin", Class: workload.ClassBinary, Size: 72_000},
+	{Name: "access.log", Class: workload.ClassWebLog, Size: 96_000},
+	{Name: "site.tar", Class: workload.ClassTarHTML, Size: 200_000},
 }
 
-// buildCorpus generates the scenario's file set from its seed.
-func buildCorpus(seed int64) []corpusFile {
-	out := make([]corpusFile, len(corpusSpec))
-	for i, sp := range corpusSpec {
-		content := workload.Generate(sp.class, sp.size, uint64(mix(seed, int64(100+i))))
-		out[i] = corpusFile{name: sp.name, class: sp.class, size: sp.size,
+// buildCorpus generates the scenario's file set from its seed: the custom
+// entries when the scenario carries any, the built-in set otherwise.
+func buildCorpus(s Scenario) []corpusFile {
+	entries := s.Corpus
+	if len(entries) == 0 {
+		entries = defaultCorpus
+	}
+	// The knob calibrates against the dataplane's own gzip (level 6),
+	// which is deterministic across Go versions — stdlib gzip is not, and
+	// a calibration shift would silently move every golden trace.
+	gz := codec.MustNew(codec.Gzip, 6)
+	measure := func(data []byte) float64 {
+		comp, err := gz.Compress(data)
+		if err != nil {
+			return 1.0 // cannot happen on generated input; read as incompressible
+		}
+		return codec.Factor(len(data), len(comp))
+	}
+	out := make([]corpusFile, len(entries))
+	for i, sp := range entries {
+		gseed := uint64(mix(s.Seed, int64(100+i)))
+		var content []byte
+		if sp.Ratio > 0 {
+			content = workload.GenerateRatio(sp.Size, sp.Ratio, gseed, measure)
+		} else {
+			content = workload.Generate(sp.Class, sp.Size, gseed)
+		}
+		out[i] = corpusFile{name: sp.Name, class: sp.Class, size: sp.Size,
 			content: content, crc: crc32.ChecksumIEEE(content)}
 	}
 	return out
+}
+
+// corpusDigest folds the corpus shape into the trace header, so traces of
+// scenarios that differ only in workload cannot be mistaken for each other.
+func corpusDigest(entries []CorpusEntry) uint32 {
+	if len(entries) == 0 {
+		entries = defaultCorpus
+	}
+	h := fnv.New32a()
+	for _, e := range entries {
+		fmt.Fprintf(h, "%s/%d/%g/%d;", e.Name, e.Class, e.Ratio, e.Size)
+	}
+	return h.Sum32()
 }
 
 // FetchRecord is one fetch's deterministic outcome.
@@ -152,6 +212,11 @@ type FetchRecord struct {
 	Raw   int
 	CRC   uint32
 	Stats proxy.FetchStats
+	// Virtual is the fetch's duration on the virtual clock, backoff
+	// included — the latency the load generator aggregates into fleet
+	// percentiles. Like all timing it is excluded from the canonical
+	// trace.
+	Virtual time.Duration
 }
 
 // Report is everything one Run produced: the per-fetch records in
@@ -180,9 +245,14 @@ func (r *Report) OK() bool { return len(r.Violations) == 0 }
 func (r *Report) Trace() string {
 	var b strings.Builder
 	s := r.Scenario
-	fmt.Fprintf(&b, "soak seed=%d clients=%d fetches=%d fault=%.4f link=%.0fBps lat=%s jitter=%.2f churn=%d\n",
-		s.Seed, s.Clients, s.FetchesPerClient, s.FaultRate,
-		s.Link.BytesPerSec, s.Link.Latency, s.Link.JitterFrac, s.Churn)
+	name := s.Name
+	if name == "" {
+		name = "default"
+	}
+	fmt.Fprintf(&b, "soak name=%s seed=%d clients=%d fetches=%d fault=%.4f link=%.0fBps lat=%s jitter=%.2f churn=%d corpus=%08x sched=%d\n",
+		name, s.Seed, s.Clients, s.FetchesPerClient, s.FaultRate,
+		s.Link.BytesPerSec, s.Link.Latency, s.Link.JitterFrac, s.Churn,
+		corpusDigest(s.Corpus), len(s.Schedule))
 	for _, rec := range r.Records {
 		status := rec.Err
 		if status == "" {
@@ -231,9 +301,14 @@ func Run(s Scenario) (*Report, error) {
 	s = s.withDefaults()
 	goroutinesBefore := runtime.NumGoroutine()
 
-	corpus := buildCorpus(s.Seed)
+	corpus := buildCorpus(s)
 	clock := simnet.NewClock()
 	nw := simnet.NewNetwork(clock, s.Link)
+	if len(s.Schedule) > 0 {
+		if err := nw.SetSchedule(s.Schedule); err != nil {
+			return nil, err
+		}
+	}
 	ln, err := nw.Listen("proxy")
 	if err != nil {
 		return nil, err
@@ -301,9 +376,11 @@ func Run(s Scenario) (*Report, error) {
 				f := corpus[sched.Intn(len(corpus))]
 				scheme := schemes[sched.Intn(len(schemes))]
 				mode := modes[sched.Intn(len(modes))]
+				fetchStart := clock.Elapsed()
 				got, stats, err := cli.Fetch(f.name, scheme, mode)
 				rec := FetchRecord{Client: i, Index: j, Name: f.name,
-					Scheme: scheme, Mode: mode, Err: errClass(err), Stats: stats}
+					Scheme: scheme, Mode: mode, Err: errClass(err), Stats: stats,
+					Virtual: clock.Elapsed() - fetchStart}
 				if err == nil {
 					rec.Raw = len(got)
 					rec.CRC = crc32.ChecksumIEEE(got)

@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"repro/internal/simnet"
+	"repro/internal/workload"
+
 	"strings"
 	"testing"
 	"time"
@@ -139,5 +142,80 @@ func TestSoakChurnForcesRecompression(t *testing.T) {
 	if rc.Stats.Compressions <= rq.Stats.Compressions {
 		t.Errorf("churned run compressed %d artifacts, quiet run %d — churn is not dropping the cache",
 			rc.Stats.Compressions, rq.Stats.Compressions)
+	}
+}
+
+// TestSoakCustomCorpusAndSchedule: a scenario with a spec-style corpus
+// (one class file, one ratio-knob file) on a scripted link (rate cliff +
+// power-save window) must pass every oracle, deliver byte-exact payloads,
+// and keep the replay guarantee.
+func TestSoakCustomCorpusAndSchedule(t *testing.T) {
+	sc := Scenario{
+		Name: "custom", Seed: 9, Clients: 3, FetchesPerClient: 6,
+		Corpus: []CorpusEntry{
+			{Name: "notes.txt", Class: workload.ClassMail, Size: 5_000},
+			{Name: "blob.bin", Ratio: 1.6, Size: 30_000},
+		},
+		Schedule: []simnet.Phase{
+			{Start: 100 * time.Millisecond, Rate: 0.18e6},
+			{Start: 300 * time.Millisecond, Rate: 0},
+			{Start: 400 * time.Millisecond, Rate: 0.6e6},
+		},
+	}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range a.Violations {
+		t.Errorf("oracle violation: %s", v)
+	}
+	for _, rec := range a.Records {
+		if rec.Err != "" {
+			t.Errorf("fetch failed: c%02d f%03d %s: %s", rec.Client, rec.Index, rec.Name, rec.Err)
+		}
+		if rec.Virtual <= 0 {
+			t.Errorf("c%02d f%03d: non-positive virtual latency %v", rec.Client, rec.Index, rec.Virtual)
+		}
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace() != b.Trace() {
+		t.Fatal("custom-corpus scenario is not replayable")
+	}
+	if !strings.Contains(a.Trace(), "name=custom") || !strings.Contains(a.Trace(), "sched=3") {
+		t.Fatalf("trace header missing scenario identity: %q", strings.SplitN(a.Trace(), "\n", 2)[0])
+	}
+}
+
+// TestCheckBounds: each bound trips on a report that breaches it and
+// stays quiet on one that honors it, without mutating Violations.
+func TestCheckBounds(t *testing.T) {
+	r, err := Run(Scenario{Seed: 13, Clients: 2, FetchesPerClient: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("clean run reported violations: %v", r.Violations)
+	}
+	if got := r.CheckBounds(Bounds{}); len(got) != 0 {
+		t.Errorf("zero bounds produced violations: %v", got)
+	}
+	ok := Bounds{MinOKFrac: 1.0, MaxVirtual: time.Hour, MaxAttempts: 1, MaxJoulesPerMB: 1e6}
+	if got := r.CheckBounds(ok); len(got) != 0 {
+		t.Errorf("satisfied bounds produced violations: %v", got)
+	}
+	joules, mb := r.EnergyDelivered()
+	if joules <= 0 || mb <= 0 {
+		t.Fatalf("EnergyDelivered = %v J, %v MB", joules, mb)
+	}
+	tight := Bounds{MaxVirtual: time.Nanosecond, MaxAttempts: 0, MinOKFrac: 0, MaxJoulesPerMB: joules / mb / 2}
+	got := r.CheckBounds(tight)
+	if len(got) != 2 {
+		t.Fatalf("tight bounds produced %d violations, want 2: %v", len(got), got)
+	}
+	if len(r.Violations) != 0 {
+		t.Error("CheckBounds mutated Report.Violations")
 	}
 }

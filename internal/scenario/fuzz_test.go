@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioSpec pins the parser's two safety contracts: it never
+// panics on arbitrary bytes (specs are hand-edited files; a typo must
+// produce a line-numbered error, not a crash), and every spec it does
+// accept survives Parse(Format(spec)) == spec exactly, so rewriting a
+// spec file is always lossless. Validate is driven too — it must be
+// total over anything Parse accepts. The seed corpus under
+// testdata/fuzz covers every directive, the failure shapes the unit
+// tests pin, and grammar near-misses.
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add([]byte(fullSpec))
+	f.Add([]byte("scenario x\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("# only a comment\n\n"))
+	f.Add([]byte("clients 5\nclients 6\n"))
+	f.Add([]byte("file a ratio 2 size 100 ratio 3\n"))
+	f.Add([]byte("linkat 1s rate 1e6\npowersave 2s 500ms\n"))
+	f.Add([]byte("expect minok 0.5\nexpect minok 2\n"))
+	f.Add([]byte("timeout 2562047h47m16.854775807s\n"))
+	f.Add([]byte("fault 1e-300\nlink rate 1e308 latency 1ns jitter 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		_ = s.Validate() // must be total, never panic
+		out := Format(s)
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Format produced unparseable spec: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round trip changed spec:\nfirst:  %#v\nsecond: %#v\nformatted:\n%s", s, again, out)
+		}
+	})
+}

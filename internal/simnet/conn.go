@@ -28,6 +28,7 @@ func (a simAddr) String() string  { return string(a) }
 // outside the clock ledger — they never park.
 type endpoint struct {
 	c    *Clock
+	nw   *Network // nil-able owner; carries the scripted link schedule
 	peer *endpoint
 	link Link
 	// rng draws this direction's transmit jitter.
@@ -139,7 +140,12 @@ func (e *endpoint) Write(b []byte) (int, error) {
 	if e.nextFree > start {
 		start = e.nextFree
 	}
-	done := start + e.link.txTime(len(b), e.rng)
+	var done time.Duration
+	if e.nw != nil && e.nw.sched != nil {
+		done = e.nw.sched.txDone(start, len(b), e.link, e.rng)
+	} else {
+		done = start + e.link.txTime(len(b), e.rng)
+	}
 	e.nextFree = done
 	arrival := done + e.link.Latency
 	if arrival > e.lastArrival {

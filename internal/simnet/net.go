@@ -15,6 +15,9 @@ type Network struct {
 	// Guarded by clock.mu, like all simnet state.
 	listeners map[string]*Listener
 	connSeq   int
+	// sched, when non-nil, scripts the shared medium's rate over virtual
+	// time (rate cliffs, power-save pauses); see SetSchedule.
+	sched *Schedule
 }
 
 // NewNetwork returns a network on clock whose Dial uses link by default.
@@ -153,9 +156,9 @@ func (nw *Network) DialLink(name string, link Link) (net.Conn, error) {
 	nw.connSeq++
 	id := nw.connSeq
 	caddr := simAddr(fmt.Sprintf("sim-peer-%d", id))
-	cep := &endpoint{c: c, link: link, local: caddr, remote: simAddr(name),
+	cep := &endpoint{c: c, nw: nw, link: link, local: caddr, remote: simAddr(name),
 		rng: rand.New(rand.NewSource(dirSeed(link.Seed, 1)))}
-	sep := &endpoint{c: c, link: link, local: simAddr(name), remote: caddr,
+	sep := &endpoint{c: c, nw: nw, link: link, local: simAddr(name), remote: caddr,
 		rng: rand.New(rand.NewSource(dirSeed(link.Seed, 2)))}
 	cep.peer, sep.peer = sep, cep
 

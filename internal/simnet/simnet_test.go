@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -354,5 +356,128 @@ func TestDialClosedListenerRefused(t *testing.T) {
 	ln.Close()
 	if _, err := nw.Dial("srv"); err == nil {
 		t.Fatal("dial to closed listener succeeded")
+	}
+}
+
+// schedTransfer pushes payload through a network carrying the given link
+// schedule and returns the virtual instant the receiver saw EOF.
+func schedTransfer(t *testing.T, link Link, phases []Phase, payload []byte) time.Duration {
+	t.Helper()
+	c := NewClock()
+	nw := NewNetwork(c, link)
+	if err := nw.SetSchedule(phases); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.Write(payload)
+	}()
+	waitAcceptorParked(t, c, ln)
+	var done time.Duration
+	c.Run(func() {
+		conn, err := nw.Dial("srv")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		if _, err := io.ReadAll(conn); err != nil {
+			t.Error(err)
+		}
+		done = c.Elapsed()
+	})
+	return done
+}
+
+// TestScheduleRateCliff: a mid-transfer rate drop stretches exactly the
+// bytes serialized after the cliff. 1500 B at 1000 B/s dropping to 500 B/s
+// at t=1s: the first 1000 B take the first second, the remaining 500 B a
+// further second — EOF at 2s (latency zero keeps the arithmetic exact).
+func TestScheduleRateCliff(t *testing.T) {
+	link := Link{BytesPerSec: 1000}
+	phases := []Phase{{Start: time.Second, Rate: 500}}
+	done := schedTransfer(t, link, phases, bytes.Repeat([]byte{7}, 1500))
+	if done != 2*time.Second {
+		t.Fatalf("EOF at %v, want 2s", done)
+	}
+}
+
+// TestSchedulePowerSavePause: a paused phase stalls the transmission for
+// its whole window, then the link resumes at the restored rate. 1500 B at
+// 1000 B/s with the link dark over [1s, 2s): 1000 B by 1s, dead air to 2s,
+// the rest by 2.5s.
+func TestSchedulePowerSavePause(t *testing.T) {
+	link := Link{BytesPerSec: 1000}
+	phases := []Phase{{Start: time.Second, Rate: 0}, {Start: 2 * time.Second, Rate: 1000}}
+	done := schedTransfer(t, link, phases, bytes.Repeat([]byte{7}, 1500))
+	if done != 2500*time.Millisecond {
+		t.Fatalf("EOF at %v, want 2.5s", done)
+	}
+}
+
+// TestScheduleValidation: out-of-order phases and schedules that end
+// paused (an eternal power-save window would deadlock every writer) must
+// be rejected before any traffic runs.
+func TestScheduleValidation(t *testing.T) {
+	nw := NewNetwork(NewClock(), Link{BytesPerSec: 1000})
+	cases := [][]Phase{
+		nil,
+		{{Start: time.Second, Rate: 100}, {Start: time.Second, Rate: 200}},
+		{{Start: 2 * time.Second, Rate: 100}, {Start: time.Second, Rate: 200}},
+		{{Start: -time.Second, Rate: 100}},
+		{{Start: time.Second, Rate: 0}},
+	}
+	for i, phases := range cases {
+		if err := nw.SetSchedule(phases); err == nil {
+			t.Errorf("case %d: bad schedule accepted", i)
+		}
+	}
+	if err := nw.SetSchedule([]Phase{{Start: time.Second, Rate: 0}, {Start: 2 * time.Second, Rate: 1}}); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+// TestManyParkedGoroutines: ten thousand concurrent sleepers — the
+// loadgen fleet shape — must drain without the wakeup path degrading into
+// a broadcast storm. The test goroutine stays outside the ledger (a plain
+// WaitGroup wait), so time starts advancing as soon as every sleeper has
+// parked.
+func TestManyParkedGoroutines(t *testing.T) {
+	c := NewClock()
+	const n = 10_000
+	var wg sync.WaitGroup
+	var sum atomic.Int64
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		c.Go(func() {
+			defer wg.Done()
+			c.Sleep(time.Duration(i%97+1) * time.Millisecond)
+			sum.Add(1)
+		})
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fleet of sleepers did not drain")
+	}
+	if got := sum.Load(); got != n {
+		t.Fatalf("%d of %d sleepers ran", got, n)
+	}
+	// Time may begin advancing while later sleepers are still being
+	// spawned, so the fleet drains somewhere past one full sleep span but
+	// nowhere near the sum of all sleeps.
+	if got := c.Elapsed(); got < 97*time.Millisecond || got > time.Second {
+		t.Fatalf("Elapsed = %v, want within [97ms, 1s]", got)
 	}
 }

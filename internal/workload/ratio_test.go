@@ -1,0 +1,83 @@
+// External test package: it measures with the real dataplane gzip, and
+// importing codec from inside package workload would cycle through the
+// codec packages' own differential tests.
+package workload_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/workload"
+)
+
+// gzipFactor is the measurer the dataplane uses for the knob: the
+// repository's own gzip at level 6.
+func gzipFactor(t *testing.T) workload.Measurer {
+	gz := codec.MustNew(codec.Gzip, 6)
+	return func(data []byte) float64 {
+		comp, err := gz.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return codec.Factor(len(data), len(comp))
+	}
+}
+
+// TestGenerateRatioHitsTarget: across the knob range the generated data's
+// measured gzip factor must land within ±10% of the requested target —
+// the contract scenario specs (`file ... ratio F`) rely on. The range is
+// bounded by chunk quantization: a file can hit targets up to about
+// size/(10·ratioChunk), which 64 kB comfortably clears for every target
+// the scenario validator admits.
+func TestGenerateRatioHitsTarget(t *testing.T) {
+	measure := gzipFactor(t)
+	for _, size := range []int{64 << 10, 256 << 10} {
+		for _, target := range []float64{1.1, 1.3, 1.7, 2.5, 4, 6, 9, 12, 16} {
+			data := workload.GenerateRatio(size, target, 7, measure)
+			if len(data) != size {
+				t.Fatalf("size=%d target=%g: generated %d bytes", size, target, len(data))
+			}
+			got := measure(data)
+			if got < target*0.9 || got > target*1.1 {
+				t.Errorf("size=%d target=%g: measured factor %.3f outside ±10%%", size, target, got)
+			}
+		}
+	}
+}
+
+// TestGenerateRatioDeterministic: same (size, target, seed) ⇒ same bytes;
+// different seeds ⇒ different bytes. Golden traces depend on this.
+func TestGenerateRatioDeterministic(t *testing.T) {
+	measure := gzipFactor(t)
+	a := workload.GenerateRatio(32<<10, 2.5, 11, measure)
+	b := workload.GenerateRatio(32<<10, 2.5, 11, measure)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different data")
+	}
+	c := workload.GenerateRatio(32<<10, 2.5, 12, measure)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// TestGenerateRatioEdges: degenerate sizes and out-of-range targets must
+// not panic, and the clamped extremes still order correctly (a 1.0 file
+// stays incompressible-ish, a high-target file compresses hard).
+func TestGenerateRatioEdges(t *testing.T) {
+	measure := gzipFactor(t)
+	if got := workload.GenerateRatio(0, 2, 1, measure); len(got) != 0 {
+		t.Fatalf("size 0 generated %d bytes", len(got))
+	}
+	if got := workload.GenerateRatio(100, 2, 1, measure); len(got) != 100 {
+		t.Fatalf("tiny file generated %d bytes", len(got))
+	}
+	low := workload.GenerateRatio(64<<10, 0.5, 3, measure) // clamps to 1.0
+	high := workload.GenerateRatio(64<<10, 99, 3, measure) // clamps to 24
+	if fl := measure(low); fl > 1.1 {
+		t.Errorf("target 1.0 measured %.3f", fl)
+	}
+	if fh := measure(high); fh < 20 {
+		t.Errorf("target 24 measured only %.3f", fh)
+	}
+}

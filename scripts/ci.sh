@@ -4,9 +4,11 @@
 # suite), then an explicit race-mode pass over the hostile-wire and
 # telemetry tests, short fuzz passes over the PXY3 wire-format and SEL1
 # container parsers, a deterministic virtual-time soak with invariant
-# oracles (fixed seeds plus one printed random seed for replay), a
-# per-package coverage ratchet, and an admin-plane smoke test over real
-# HTTP. Every change to the proxy dataplane, wire path or telemetry layer
+# oracles (fixed seeds plus one printed random seed for replay), the
+# scenario-corpus gate (every declarative spec diffed against its golden
+# trace at two pinned seeds plus a wall-clock seed, then the 10k-client
+# load-generation fleet), a per-package coverage ratchet, and an
+# admin-plane smoke test over real HTTP. Every change to the proxy dataplane, wire path or telemetry layer
 # must keep this green.
 set -eux
 
@@ -41,6 +43,7 @@ go test -race -run 'TestFetchCompletesUnderFaults|TestFetchResumes|TestMalicious
 go test -race ./internal/obs
 go test -race -run 'TestObservabilityEndToEnd|TestPermanentErrorClassification' ./internal/proxy
 
+go test -run='^$' -fuzz=FuzzScenarioSpec -fuzztime=10s ./internal/scenario
 go test -run='^$' -fuzz=FuzzReadRequest -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzReadBlockFrame -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzGzipDifferential -fuzztime=10s ./internal/flate
@@ -64,6 +67,28 @@ RANDOM_SEED=$(date +%s)
 echo "soak random seed: $RANDOM_SEED (replay: go run ./cmd/energysim soak -seed $RANDOM_SEED -clients 4 -fetches 10 -trace)"
 $SOAK -seed "$RANDOM_SEED"
 
+# Scenario-corpus gate: every committed declarative spec replays at the
+# two pinned golden seeds and must reproduce its committed canonical
+# trace byte-for-byte, then runs once at the wall-clock seed above so
+# bounds and oracles face a schedule nobody tuned for (no golden exists
+# there; the seed is printed for replay). Finally the 10,000-client
+# load-generation fleet must complete inside its expect bounds and
+# report latency percentiles and joules/MB.
+GATE_DIR=$(mktemp -d)
+go build -o "$GATE_DIR/energysim" ./cmd/energysim
+go build -o "$GATE_DIR/loadgen" ./cmd/loadgen
+for spec in testdata/scenarios/*.scn; do
+	name=$(basename "$spec" .scn)
+	for seed in 1 2; do
+		"$GATE_DIR/energysim" soak -scenario "$spec" -seed "$seed" -trace >"$GATE_DIR/trace"
+		cmp "$GATE_DIR/trace" "testdata/scenarios/golden/$name.seed$seed.trace"
+	done
+	echo "scenario $name wall-clock seed: $RANDOM_SEED (replay: go run ./cmd/energysim soak -scenario $spec -seed $RANDOM_SEED -trace)"
+	"$GATE_DIR/energysim" soak -scenario "$spec" -seed "$RANDOM_SEED"
+done
+"$GATE_DIR/loadgen" -spec testdata/scenarios/loadgen/fleet-10k.scn -seed "$RANDOM_SEED"
+rm -rf "$GATE_DIR"
+
 # Coverage ratchet: per-package floors a few points under current levels,
 # so test deletions and untested subsystems fail loudly. Raise a floor when
 # a package's coverage rises; never lower one to make a change pass.
@@ -84,9 +109,11 @@ check_cover() {
 check_cover ./internal/proxy 88
 check_cover ./internal/simnet 80
 check_cover ./internal/selective 89
-check_cover ./internal/harness 77
+check_cover ./internal/harness 79
 check_cover ./internal/obs 84
 check_cover ./internal/energy 87
+check_cover ./internal/scenario 88
+check_cover ./internal/workload 93
 
 # Decompression-kernel gates, without -race (the race runtime changes
 # allocation counts): the pooled dataplane must stay O(1) buffers per
