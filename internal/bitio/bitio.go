@@ -33,6 +33,16 @@ func NewLSBWriter(w io.Writer) *LSBWriter {
 	return &LSBWriter{w: w, buf: make([]byte, 0, 4096)}
 }
 
+// Reset rebinds the writer to w and clears all buffered bits, bytes and the
+// sticky error, so pooled writers can be reused across streams.
+func (bw *LSBWriter) Reset(w io.Writer) {
+	bw.w = w
+	bw.acc = 0
+	bw.n = 0
+	bw.buf = bw.buf[:0]
+	bw.err = nil
+}
+
 // WriteBits writes the low n bits of v, LSB first. n must be <= 57.
 func (bw *LSBWriter) WriteBits(v uint64, n uint) {
 	if bw.err != nil {

@@ -1,0 +1,44 @@
+package codec
+
+import (
+	"runtime"
+
+	"repro/internal/flate"
+)
+
+// ParallelThreshold is the input size at which CompressParallel switches a
+// deflate-family codec to the chunked (pigz-style) container format.
+const ParallelThreshold = flate.ParallelThreshold
+
+// parallelCompressor is implemented by codecs whose output format supports
+// deterministic chunk-parallel compression.
+type parallelCompressor interface {
+	compressParallel(data []byte, workers int) ([]byte, error)
+}
+
+func (c gzipCodec) compressParallel(data []byte, workers int) ([]byte, error) {
+	return flate.GzipCompressParallel(data, c.level, workers)
+}
+
+func (c zlibCodec) compressParallel(data []byte, workers int) ([]byte, error) {
+	return flate.ZlibCompressParallel(data, c.level, workers)
+}
+
+// CompressParallel compresses data with c, sharding deflate-family inputs of
+// at least ParallelThreshold into independent chunks compressed on up to
+// workers goroutines and stitched in order (workers <= 0 selects
+// GOMAXPROCS). The output is a pure function of the data and the codec:
+// every workers value yields byte-identical bytes, so cached artifacts,
+// golden traces and same-seed replays stay deterministic however many cores
+// did the work. Schemes without a chunkable format (compress, bzip2) and
+// small inputs fall through to c.Compress.
+func CompressParallel(c Codec, data []byte, workers int) ([]byte, error) {
+	pc, ok := c.(parallelCompressor)
+	if !ok || len(data) < ParallelThreshold {
+		return c.Compress(data)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return pc.compressParallel(data, workers)
+}

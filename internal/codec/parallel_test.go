@@ -1,0 +1,72 @@
+package codec_test
+
+// CompressParallel contract tests: worker count never changes the bytes,
+// large deflate-family inputs switch to the chunked container, and schemes
+// without a chunkable format fall through to the sequential path.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/workload"
+)
+
+func TestCompressParallelDeterministic(t *testing.T) {
+	data := workload.Generate(workload.ClassSource, 1<<20, 17)
+	for _, scheme := range []codec.Scheme{codec.Gzip, codec.Zlib} {
+		c := codec.MustNew(scheme, 0)
+		ref, err := codec.CompressParallel(c, data, 1)
+		if err != nil {
+			t.Fatalf("%v workers=1: %v", scheme, err)
+		}
+		for _, workers := range []int{0, 2, 4, 9} {
+			got, err := codec.CompressParallel(c, data, workers)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", scheme, workers, err)
+			}
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("%v: workers=%d output differs from workers=1", scheme, workers)
+			}
+		}
+		dec, err := c.Decompress(ref, 0)
+		if err != nil {
+			t.Fatalf("%v: decompress of parallel artifact: %v", scheme, err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("%v: parallel artifact round trip mismatch", scheme)
+		}
+	}
+}
+
+func TestCompressParallelFallbacks(t *testing.T) {
+	small := workload.Generate(workload.ClassXML, codec.ParallelThreshold-1, 2)
+	gz := codec.MustNew(codec.Gzip, 0)
+	seq, err := gz.Compress(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := codec.CompressParallel(gz, small, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatal("below-threshold input must use the sequential encoder verbatim")
+	}
+
+	// LZW has no chunkable container: CompressParallel must equal Compress
+	// at any size.
+	big := workload.Generate(workload.ClassWebLog, 1<<20, 3)
+	lzw := codec.MustNew(codec.Compress, 0)
+	seq, err = lzw.Compress(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err = codec.CompressParallel(lzw, big, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatal("non-chunkable scheme must fall through to Compress")
+	}
+}

@@ -7,6 +7,7 @@ package flate
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/huffman"
@@ -24,21 +25,18 @@ const maxStoredBlock = 65535
 // Deflate compresses data to w as a complete DEFLATE stream at the given
 // level (1-9). It returns the number of compressed bytes written.
 func Deflate(w io.Writer, data []byte, level int) (int, error) {
-	m, err := lz77.NewMatcher(level)
+	m, err := lz77.GetMatcher(level)
 	if err != nil {
 		return 0, err
 	}
-	cw := &countWriter{w: w}
-	bw := bitio.NewLSBWriter(cw)
-	enc := &blockEncoder{bw: bw, data: data}
+	defer lz77.PutMatcher(m)
+	cw := countWriter{w: w}
+	bw := getLSBWriter(&cw)
+	defer putLSBWriter(bw)
+	enc := getEncoder(bw, data)
+	defer putEncoder(enc)
 
-	m.Tokenize(data, func(t lz77.Token) {
-		enc.tokens = append(enc.tokens, t)
-		enc.inputEnd += t.Advance()
-		if len(enc.tokens) >= maxTokensPerBlock {
-			enc.flushBlock(false)
-		}
-	})
+	m.Tokenize(data, enc.appendToken)
 	enc.flushBlock(true)
 	if enc.err != nil {
 		return cw.n, enc.err
@@ -48,6 +46,45 @@ func Deflate(w io.Writer, data []byte, level int) (int, error) {
 	}
 	return cw.n, nil
 }
+
+// AppendDeflateSync compresses data at the given level as a run of
+// non-final DEFLATE blocks terminated by an empty non-final stored block (a
+// "sync flush"), leaving the stream byte-aligned, and appends the bytes to
+// dst. Chunks produced this way concatenate into one valid DEFLATE stream
+// once a final block (FinalStoredBlock) ends it; this is the pigz-style
+// building block the parallel compression plane stitches together.
+func AppendDeflateSync(dst []byte, data []byte, level int) ([]byte, error) {
+	m, err := lz77.GetMatcher(level)
+	if err != nil {
+		return nil, err
+	}
+	defer lz77.PutMatcher(m)
+	sw := sliceWriter{b: dst}
+	bw := getLSBWriter(&sw)
+	defer putLSBWriter(bw)
+	enc := getEncoder(bw, data)
+	defer putEncoder(enc)
+
+	m.Tokenize(data, enc.appendToken)
+	enc.flushBlock(false)
+	// Sync flush: empty non-final stored block, which ends byte-aligned.
+	bw.WriteBits(0, 3) // BFINAL=0, BTYPE=00
+	bw.Align()
+	bw.WriteBits(0, 16)
+	bw.WriteBits(0xffff, 16)
+	if enc.err != nil {
+		return nil, enc.err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return sw.b, nil
+}
+
+// FinalStoredBlock is the byte-aligned empty final DEFLATE block (BFINAL=1,
+// BTYPE=00, LEN=0) that terminates a stream assembled from AppendDeflateSync
+// chunks.
+var FinalStoredBlock = [5]byte{0x01, 0x00, 0x00, 0xff, 0xff}
 
 type countWriter struct {
 	w io.Writer
@@ -60,8 +97,21 @@ func (c *countWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// lsbPool recycles bit writers (and their 4 KiB byte buffers) across calls.
+var lsbPool = sync.Pool{New: func() any { return bitio.NewLSBWriter(nil) }}
+
+func getLSBWriter(w io.Writer) *bitio.LSBWriter {
+	bw := lsbPool.Get().(*bitio.LSBWriter)
+	bw.Reset(w)
+	return bw
+}
+
+func putLSBWriter(bw *bitio.LSBWriter) { lsbPool.Put(bw) }
+
 // blockEncoder accumulates tokens and emits DEFLATE blocks, choosing
-// stored / fixed / dynamic per block by exact cost comparison.
+// stored / fixed / dynamic per block by exact cost comparison. All working
+// state — token buffer, frequency and length arrays, packed code tables —
+// is embedded so a pooled encoder runs the steady state without allocating.
 type blockEncoder struct {
 	bw         *bitio.LSBWriter
 	data       []byte
@@ -69,7 +119,70 @@ type blockEncoder struct {
 	inputStart int // data offset covered by the pending tokens
 	inputEnd   int
 	err        error
+
+	litFreq  [maxNumLit]int
+	distFreq [maxNumDist]int
+	litLens  [maxNumLit]uint8
+	distLens [maxNumDist]uint8
+	clFreq   [numCLSymbols]int
+	clLens   [numCLSymbols]uint8
+
+	codes   [maxNumLit]uint32 // canonical-code scratch, reused per alphabet
+	litEnc  [maxNumLit]uint32 // packed reversed codes (dynamic blocks)
+	distEnc [maxNumDist]uint32
+	clEnc   [numCLSymbols]uint32
+
+	allLens [maxNumLit + maxNumDist]uint8 // lit+dist lengths for the CL RLE
+	clSyms  []clSym
+	nlit    int
+	ndist   int
+	hclen   int
 }
+
+var encoderPool = sync.Pool{New: func() any {
+	return &blockEncoder{tokens: make([]lz77.Token, 0, maxTokensPerBlock)}
+}}
+
+// getEncoder returns a pooled encoder bound to bw and data. Pair with
+// putEncoder.
+func getEncoder(bw *bitio.LSBWriter, data []byte) *blockEncoder {
+	e := encoderPool.Get().(*blockEncoder)
+	e.reset(bw, data)
+	return e
+}
+
+func putEncoder(e *blockEncoder) {
+	e.bw = nil
+	e.data = nil
+	encoderPool.Put(e)
+}
+
+// reset rebinds the encoder to a new output stream and input buffer. The
+// token buffer and code tables are retained; per-block state is cleared by
+// flushBlock itself.
+func (e *blockEncoder) reset(bw *bitio.LSBWriter, data []byte) {
+	e.bw = bw
+	e.data = data
+	e.tokens = e.tokens[:0]
+	e.inputStart = 0
+	e.inputEnd = 0
+	e.err = nil
+}
+
+// appendToken is the Tokenize sink: it accumulates tokens and flushes a
+// non-final block whenever the zlib block budget fills.
+func (e *blockEncoder) appendToken(t lz77.Token) {
+	e.tokens = append(e.tokens, t)
+	e.inputEnd += t.Advance()
+	if len(e.tokens) >= maxTokensPerBlock {
+		e.flushBlock(false)
+	}
+}
+
+// buildCodeLengths builds length-limited Huffman code lengths; a package
+// variable so tests can inject failures and exercise the fixed-tree
+// fallback below.
+var buildCodeLengths = huffman.BuildLengthsInto
 
 func (e *blockEncoder) flushBlock(final bool) {
 	if e.err != nil {
@@ -79,8 +192,10 @@ func (e *blockEncoder) flushBlock(final bool) {
 		return
 	}
 
-	litFreq := make([]int, maxNumLit)
-	distFreq := make([]int, maxNumDist)
+	litFreq := e.litFreq[:]
+	distFreq := e.distFreq[:]
+	clear(litFreq)
+	clear(distFreq)
 	extraBits := 0
 	for _, t := range e.tokens {
 		if t.IsLiteral() {
@@ -96,50 +211,57 @@ func (e *blockEncoder) flushBlock(final bool) {
 	}
 	litFreq[endBlockMarker]++
 
-	litLens, err := huffman.BuildLengths(litFreq, maxCodeBits)
-	if err != nil {
-		e.err = err
-		return
+	// Dynamic-tree construction can fail only on inputs the DEFLATE
+	// alphabets cannot produce, but the format always offers the fixed
+	// trees — so any failure here downgrades the block instead of killing
+	// the stream.
+	dynOK := true
+	if err := buildCodeLengths(e.litLens[:], litFreq, maxCodeBits); err != nil {
+		dynOK = false
 	}
-	distLens, err := huffman.BuildLengths(distFreq, maxCodeBits)
-	if err != nil {
-		e.err = err
-		return
-	}
-	// DEFLATE requires at least one distance code length even if no
-	// matches occurred; give code 0 a dummy 1-bit code.
-	hasDist := false
-	for _, l := range distLens {
-		if l > 0 {
-			hasDist = true
-			break
+	if dynOK {
+		if err := buildCodeLengths(e.distLens[:], distFreq, maxCodeBits); err != nil {
+			dynOK = false
 		}
 	}
-	if !hasDist {
-		distLens[0] = 1
+	header := 0
+	if dynOK {
+		// DEFLATE requires at least one distance code length even if no
+		// matches occurred; give code 0 a dummy 1-bit code.
+		hasDist := false
+		for _, l := range e.distLens {
+			if l > 0 {
+				hasDist = true
+				break
+			}
+		}
+		if !hasDist {
+			e.distLens[0] = 1
+		}
+		header, dynOK = e.buildDynamicHeader()
 	}
 
-	header, clLens, clSymbols := e.buildDynamicHeader(litLens, distLens)
+	// Sentinel cost for an unavailable dynamic block: large enough that
+	// fixed (or a small stored block) always wins, small enough that the
+	// stored-vs-dynamic comparison below stays meaningful.
+	dynCost := 1 << 30
+	if dynOK {
+		dynCost = header + extraBits
+		for s, f := range litFreq {
+			dynCost += f * int(e.litLens[s])
+		}
+		for s, f := range distFreq {
+			dynCost += f * int(e.distLens[s])
+		}
+	}
 
-	dynCost := header
+	fixedCost := extraBits
 	for s, f := range litFreq {
-		dynCost += f * int(litLens[s])
+		fixedCost += f * int(fixedLitEnc[s]>>packedLenShift)
 	}
 	for s, f := range distFreq {
-		dynCost += f * int(distLens[s])
+		fixedCost += f * int(fixedDistEnc[s]>>packedLenShift)
 	}
-	dynCost += extraBits
-
-	fixedLit := fixedLitLengths()
-	fixedDist := fixedDistLengths()
-	fixedCost := 0
-	for s, f := range litFreq {
-		fixedCost += f * int(fixedLit[s])
-	}
-	for s, f := range distFreq {
-		fixedCost += f * int(fixedDist[s])
-	}
-	fixedCost += extraBits
 
 	inputLen := e.inputEnd - e.inputStart
 	storedCost := 1 << 62
@@ -152,65 +274,77 @@ func (e *blockEncoder) flushBlock(final bool) {
 	case storedCost <= dynCost+3 && storedCost <= fixedCost+3:
 		e.writeStored(final)
 	case fixedCost <= dynCost:
-		e.writeHuffman(final, 1, fixedLit, fixedDist, nil, nil, 0)
+		e.writeHuffman(final, 1, fixedLitEnc[:], fixedDistEnc[:])
 	default:
-		e.writeHuffman(final, 2, litLens, distLens, clLens, clSymbols, header)
+		if err := packEnc(e.litEnc[:], e.codes[:], e.litLens[:]); err != nil {
+			e.err = err
+			return
+		}
+		if err := packEnc(e.distEnc[:], e.codes[:], e.distLens[:]); err != nil {
+			e.err = err
+			return
+		}
+		e.writeHuffman(final, 2, e.litEnc[:], e.distEnc[:])
 	}
 
 	e.tokens = e.tokens[:0]
 	e.inputStart = e.inputEnd
 }
 
-// buildDynamicHeader computes the dynamic header cost in bits along with the
-// code-length code and the CL symbol stream (symbol, extra-bit pairs).
+// clSym is one symbol of the code-length (CL) alphabet stream: the symbol,
+// its extra-bit payload and the extra-bit count.
 type clSym struct {
 	sym   int
 	extra int
 	bits  uint8
 }
 
-func (e *blockEncoder) buildDynamicHeader(litLens, distLens []uint8) (bits int, clLens []uint8, syms []clSym) {
+// buildDynamicHeader computes the dynamic header cost in bits from
+// e.litLens/e.distLens, leaving the CL code, symbol stream and the
+// nlit/ndist/hclen counts on the encoder for writeHuffman. ok=false means
+// the dynamic header could not be built and the caller must fall back to
+// the fixed trees (the sentinel-cost path); the stream itself stays valid.
+func (e *blockEncoder) buildDynamicHeader() (bits int, ok bool) {
 	nlit := maxNumLit
-	for nlit > 257 && litLens[nlit-1] == 0 {
+	for nlit > 257 && e.litLens[nlit-1] == 0 {
 		nlit--
 	}
 	ndist := maxNumDist
-	for ndist > 1 && distLens[ndist-1] == 0 {
+	for ndist > 1 && e.distLens[ndist-1] == 0 {
 		ndist--
 	}
-	all := make([]uint8, 0, nlit+ndist)
-	all = append(all, litLens[:nlit]...)
-	all = append(all, distLens[:ndist]...)
+	all := append(e.allLens[:0], e.litLens[:nlit]...)
+	all = append(all, e.distLens[:ndist]...)
 
-	syms = runLengthEncode(all)
-	clFreq := make([]int, numCLSymbols)
-	for _, s := range syms {
+	e.clSyms = runLengthEncode(e.clSyms[:0], all)
+	clFreq := e.clFreq[:]
+	clear(clFreq)
+	for _, s := range e.clSyms {
 		clFreq[s.sym]++
 	}
-	clLens, err := huffman.BuildLengths(clFreq, maxCLCodeBits)
-	if err != nil {
-		// Cannot happen: 19 symbols always fit 7 bits; fall back to fixed.
-		e.err = err
-		return 1 << 30, nil, nil
+	if err := buildCodeLengths(e.clLens[:], clFreq, maxCLCodeBits); err != nil {
+		// Cannot happen (19 symbols always fit 7 bits), but the format
+		// guarantees the fixed trees: report dynamic as unavailable
+		// instead of erroring the stream.
+		return 0, false
 	}
 	hclen := numCLSymbols
-	for hclen > 4 && clLens[clOrder[hclen-1]] == 0 {
+	for hclen > 4 && e.clLens[clOrder[hclen-1]] == 0 {
 		hclen--
 	}
+	e.nlit, e.ndist, e.hclen = nlit, ndist, hclen
 	bits = 5 + 5 + 4 + 3*hclen
-	for _, s := range syms {
-		bits += int(clLens[s.sym]) + int(s.bits)
+	for _, s := range e.clSyms {
+		bits += int(e.clLens[s.sym]) + int(s.bits)
 	}
-	// Stash nlit/ndist/hclen in the first slots of a side channel via
-	// closure state: recompute in writeHuffman instead (cheap).
-	return bits, clLens, syms
+	return bits, true
 }
 
-// runLengthEncode produces the CL-alphabet symbol stream for a code-length
-// vector: 0..15 literal lengths, 16 repeat-previous (3-6, 2 extra bits),
-// 17 zero-run (3-10, 3 extra), 18 zero-run (11-138, 7 extra).
-func runLengthEncode(lens []uint8) []clSym {
-	var out []clSym
+// runLengthEncode appends the CL-alphabet symbol stream for a code-length
+// vector to dst: 0..15 literal lengths, 16 repeat-previous (3-6, 2 extra
+// bits), 17 zero-run (3-10, 3 extra), 18 zero-run (11-138, 7 extra).
+func runLengthEncode(dst []clSym, lens []uint8) []clSym {
+	out := dst
 	for i := 0; i < len(lens); {
 		v := lens[i]
 		j := i + 1
@@ -279,7 +413,13 @@ func (e *blockEncoder) writeStored(final bool) {
 	}
 }
 
-func (e *blockEncoder) writeHuffman(final bool, btype int, litLens, distLens []uint8, clLens []uint8, clSyms []clSym, _ int) {
+// writeHuffman emits the pending tokens as one Huffman block using the
+// packed code tables (fixed or dynamic). For btype 2 the dynamic header is
+// written from the state buildDynamicHeader left on the encoder. Each
+// symbol-plus-extra-bits pair goes out in a single WriteBits call: at most
+// 15+5 bits on the lit/len side and 15+13 on the distance side, both well
+// under the accumulator limit.
+func (e *blockEncoder) writeHuffman(final bool, btype int, litEnc, distEnc []uint32) {
 	bfinal := uint64(0)
 	if final {
 		bfinal = 1
@@ -288,69 +428,50 @@ func (e *blockEncoder) writeHuffman(final bool, btype int, litLens, distLens []u
 	e.bw.WriteBits(uint64(btype), 2)
 
 	if btype == 2 {
-		nlit := maxNumLit
-		for nlit > 257 && litLens[nlit-1] == 0 {
-			nlit--
+		e.bw.WriteBits(uint64(e.nlit-257), 5)
+		e.bw.WriteBits(uint64(e.ndist-1), 5)
+		e.bw.WriteBits(uint64(e.hclen-4), 4)
+		for i := 0; i < e.hclen; i++ {
+			e.bw.WriteBits(uint64(e.clLens[clOrder[i]]), 3)
 		}
-		ndist := maxNumDist
-		for ndist > 1 && distLens[ndist-1] == 0 {
-			ndist--
-		}
-		hclen := numCLSymbols
-		for hclen > 4 && clLens[clOrder[hclen-1]] == 0 {
-			hclen--
-		}
-		e.bw.WriteBits(uint64(nlit-257), 5)
-		e.bw.WriteBits(uint64(ndist-1), 5)
-		e.bw.WriteBits(uint64(hclen-4), 4)
-		for i := 0; i < hclen; i++ {
-			e.bw.WriteBits(uint64(clLens[clOrder[i]]), 3)
-		}
-		clCodes, err := huffman.CanonicalCodes(clLens)
-		if err != nil {
+		if err := packEnc(e.clEnc[:], e.codes[:], e.clLens[:]); err != nil {
 			e.err = err
 			return
 		}
-		for _, s := range clSyms {
-			l := clLens[s.sym]
-			e.bw.WriteBits(uint64(huffman.Reverse(clCodes[s.sym], l)), uint(l))
+		for _, s := range e.clSyms {
+			ec := e.clEnc[s.sym]
+			n := uint(ec >> packedLenShift)
+			v := uint64(ec & (1<<packedLenShift - 1))
 			if s.bits > 0 {
-				e.bw.WriteBits(uint64(s.extra), uint(s.bits))
+				v |= uint64(s.extra) << n
+				n += uint(s.bits)
 			}
+			e.bw.WriteBits(v, n)
 		}
 	}
 
-	litCodes, err := huffman.CanonicalCodes(litLens)
-	if err != nil {
-		e.err = err
-		return
-	}
-	distCodes, err := huffman.CanonicalCodes(distLens)
-	if err != nil {
-		e.err = err
-		return
-	}
-	emitSym := func(codes []uint32, lens []uint8, s int) {
-		e.bw.WriteBits(uint64(huffman.Reverse(codes[s], lens[s])), uint(lens[s]))
-	}
 	for _, t := range e.tokens {
 		if t.IsLiteral() {
-			emitSym(litCodes, litLens, int(t.Lit))
+			ec := litEnc[t.Lit]
+			e.bw.WriteBits(uint64(ec&(1<<packedLenShift-1)), uint(ec>>packedLenShift))
 			continue
 		}
 		le := lengthCodes[t.Len]
-		emitSym(litCodes, litLens, int(le.code))
-		if le.extra > 0 {
-			e.bw.WriteBits(uint64(int(t.Len)-int(le.base)), uint(le.extra))
-		}
+		ec := litEnc[le.code]
+		n := uint(ec >> packedLenShift)
+		v := uint64(ec&(1<<packedLenShift-1)) | uint64(t.Len-le.base)<<n
+		n += uint(le.extra)
+		e.bw.WriteBits(v, n)
 		dc := distCode(int(t.Dist))
-		emitSym(distCodes, distLens, dc)
 		de := distTable[dc]
-		if de.extra > 0 {
-			e.bw.WriteBits(uint64(int(t.Dist)-int(de.base)), uint(de.extra))
-		}
+		ec = distEnc[dc]
+		n = uint(ec >> packedLenShift)
+		v = uint64(ec&(1<<packedLenShift-1)) | uint64(t.Dist-de.base)<<n
+		n += uint(de.extra)
+		e.bw.WriteBits(v, n)
 	}
-	emitSym(litCodes, litLens, endBlockMarker)
+	ec := litEnc[endBlockMarker]
+	e.bw.WriteBits(uint64(ec&(1<<packedLenShift-1)), uint(ec>>packedLenShift))
 	if e.bw.Err() != nil {
 		e.err = e.bw.Err()
 	}
@@ -359,11 +480,18 @@ func (e *blockEncoder) writeHuffman(final bool, btype int, litLens, distLens []u
 // CompressBytes is a convenience wrapper returning the DEFLATE stream for
 // data at the given level.
 func CompressBytes(data []byte, level int) ([]byte, error) {
-	var buf sliceWriter
+	buf := sliceWriter{b: make([]byte, 0, deflateSizeHint(len(data)))}
 	if _, err := Deflate(&buf, data, level); err != nil {
 		return nil, err
 	}
 	return buf.b, nil
+}
+
+// deflateSizeHint estimates output capacity for compressing n input bytes:
+// half the input (typical text compresses well past that) plus headroom for
+// the incompressible case's stored-block framing on small inputs.
+func deflateSizeHint(n int) int {
+	return n/2 + 64
 }
 
 type sliceWriter struct{ b []byte }

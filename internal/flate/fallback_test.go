@@ -1,0 +1,106 @@
+package flate
+
+// Regression tests for the fixed-tree fallback. The old encoder promised a
+// fallback in a comment but set e.err when dynamic tree construction
+// failed, killing the stream; the fallback is now real. Because dynamic
+// construction cannot fail on any input the token alphabets can produce,
+// the path is exercised by injecting failures through the buildCodeLengths
+// package hook.
+
+import (
+	"bytes"
+	stdflate "compress/flate"
+	"errors"
+	"io"
+	"testing"
+)
+
+// withFailingTreeBuilder replaces buildCodeLengths so that the calls whose
+// 1-based index is selected by failCall (0 = all calls) fail, restoring the
+// real builder when the test finishes.
+func withFailingTreeBuilder(t *testing.T, failCall int, body func()) {
+	t.Helper()
+	orig := buildCodeLengths
+	call := 0
+	buildCodeLengths = func(lengths []uint8, freqs []int, maxBits int) error {
+		call++
+		if failCall == 0 || call == failCall {
+			return errors.New("injected tree failure")
+		}
+		return orig(lengths, freqs, maxBits)
+	}
+	defer func() { buildCodeLengths = orig }()
+	body()
+}
+
+// fallbackCorpus produces inputs that would normally pick dynamic blocks.
+func fallbackCorpus() [][]byte {
+	return [][]byte{
+		[]byte("the quick brown fox jumps over the lazy dog, repeatedly; " +
+			"the quick brown fox jumps over the lazy dog, repeatedly"),
+		bytes.Repeat([]byte("abcdefgh01234567"), 8192), // multi-block, match-heavy
+		func() []byte {
+			b := make([]byte, 64*1024)
+			for i := range b {
+				b[i] = byte(i * 7)
+			}
+			return b
+		}(),
+	}
+}
+
+// TestFixedFallbackOnTreeFailure: when every dynamic tree build fails, the
+// encoder must degrade to fixed/stored blocks — no error — and the output
+// must still decode byte-for-byte in the standard library and our inflate.
+func TestFixedFallbackOnTreeFailure(t *testing.T) {
+	// failCall selects which buildCodeLengths invocation dies: 0 fails all
+	// of them, 1 the literal tree, 2 the distance tree, 3 the CL tree —
+	// covering each downgrade site in flushBlock and buildDynamicHeader.
+	for _, failCall := range []int{0, 1, 2, 3} {
+		for i, data := range fallbackCorpus() {
+			var comp []byte
+			var err error
+			withFailingTreeBuilder(t, failCall, func() {
+				comp, err = CompressBytes(data, 9)
+			})
+			if err != nil {
+				t.Fatalf("failCall=%d corpus[%d]: fallback did not engage: %v", failCall, i, err)
+			}
+			got, err := io.ReadAll(stdflate.NewReader(bytes.NewReader(comp)))
+			if err != nil {
+				t.Fatalf("failCall=%d corpus[%d]: stdlib rejects fallback stream: %v", failCall, i, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("failCall=%d corpus[%d]: fallback stream decodes differently", failCall, i)
+			}
+			got, err = DecompressBytes(comp)
+			if err != nil {
+				t.Fatalf("failCall=%d corpus[%d]: our inflate rejects fallback stream: %v", failCall, i, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("failCall=%d corpus[%d]: our inflate decodes fallback differently", failCall, i)
+			}
+		}
+	}
+}
+
+// TestFixedFallbackNeverBeatsDynamic: with the real tree builder the
+// sentinel cost must keep dynamic blocks winning on compressible text, so
+// the fallback machinery cannot regress normal output.
+func TestFixedFallbackNeverBeatsDynamic(t *testing.T) {
+	data := bytes.Repeat([]byte("selective compression saves energy "), 2048)
+	comp, err := CompressBytes(data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixed []byte
+	withFailingTreeBuilder(t, 0, func() {
+		fixed, err = CompressBytes(data, 9)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(fixed) {
+		t.Fatalf("dynamic blocks (%d bytes) should beat forced-fixed (%d bytes) on text", len(comp), len(fixed))
+	}
+}

@@ -25,7 +25,7 @@ func GzipCompress(data []byte, level int) ([]byte, error) {
 	if err := validateLevel(level); err != nil {
 		return nil, err
 	}
-	hdr := make([]byte, gzipHdrLen)
+	hdr := make([]byte, gzipHdrLen, gzipHdrLen+deflateSizeHint(len(data))+gzipTrailLen)
 	hdr[0], hdr[1], hdr[2] = gzipID1, gzipID2, gzipCM
 	// FLG=0, MTIME=0 (deterministic output).
 	switch level {
@@ -189,7 +189,8 @@ func ZlibCompress(data []byte, level int) ([]byte, error) {
 	if rem != 0 {
 		flg += byte(31 - rem)
 	}
-	out := sliceWriter{b: []byte{cmf, flg}}
+	b := make([]byte, 0, 2+deflateSizeHint(len(data))+zlibTrailLen)
+	out := sliceWriter{b: append(b, cmf, flg)}
 	if _, err := Deflate(&out, data, level); err != nil {
 		return nil, err
 	}

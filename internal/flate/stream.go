@@ -22,6 +22,7 @@ type Writer struct {
 	w       io.Writer
 	bw      *bitio.LSBWriter
 	matcher *lz77.Matcher
+	enc     *blockEncoder // reused across segments; created on first flush
 	level   int
 
 	buf     []byte
@@ -40,7 +41,7 @@ func NewWriter(w io.Writer, level int) (*Writer, error) {
 	if err := validateLevel(level); err != nil {
 		return nil, err
 	}
-	m, err := lz77.NewMatcher(level)
+	m, err := lz77.GetMatcher(level)
 	if err != nil {
 		return nil, err
 	}
@@ -112,14 +113,13 @@ func (zw *Writer) flushSegment() error {
 	}
 	zw.crc = checksum.UpdateCRC32(zw.crc, zw.buf)
 	zw.in += uint32(len(zw.buf))
-	enc := &blockEncoder{bw: zw.bw, data: zw.buf}
-	zw.matcher.Tokenize(zw.buf, func(t lz77.Token) {
-		enc.tokens = append(enc.tokens, t)
-		enc.inputEnd += t.Advance()
-		if len(enc.tokens) >= maxTokensPerBlock {
-			enc.flushBlock(false)
-		}
-	})
+	if zw.enc == nil {
+		zw.enc = getEncoder(zw.bw, zw.buf)
+	} else {
+		zw.enc.reset(zw.bw, zw.buf)
+	}
+	enc := zw.enc
+	zw.matcher.Tokenize(zw.buf, enc.appendToken)
 	enc.flushBlock(false) // never final: Close ends the stream
 	if enc.err != nil {
 		zw.err = enc.err
@@ -143,12 +143,22 @@ func (zw *Writer) Flush() error {
 	return nil
 }
 
-// Close flushes, writes the empty final block and the gzip trailer.
+// Close flushes, writes the empty final block and the gzip trailer. The
+// matcher and encoder go back to their pools; the Writer must not be used
+// afterwards.
 func (zw *Writer) Close() error {
 	if zw.closed {
 		return zw.err
 	}
 	zw.closed = true
+	defer func() {
+		lz77.PutMatcher(zw.matcher)
+		zw.matcher = nil
+		if zw.enc != nil {
+			putEncoder(zw.enc)
+			zw.enc = nil
+		}
+	}()
 	if zw.err != nil {
 		return zw.err
 	}

@@ -1,5 +1,7 @@
 package flate
 
+import "repro/internal/huffman"
+
 // DEFLATE symbol-table constants (RFC 1951).
 const (
 	endBlockMarker = 256
@@ -69,20 +71,36 @@ func buildLengthCodes() [259]lengthEntry {
 	return t
 }
 
+// distCodeTable maps distances to distance codes: index d-1 for d <= 256,
+// index 256 + (d-1)>>7 for larger distances (codes 16..29 all have bases
+// that are multiples of 128 plus one, so the >>7 bucketing is exact).
+var distCodeTable = buildDistCodeTable()
+
+func buildDistCodeTable() [512]uint8 {
+	var t [512]uint8
+	code := 0
+	for d := 1; d <= 256; d++ {
+		for code < 29 && int(distTable[code+1].base) <= d {
+			code++
+		}
+		t[d-1] = uint8(code)
+	}
+	for i := 2; i < 256; i++ { // buckets of 128 bytes for d in 257..32768
+		d := i<<7 + 1
+		for code < 29 && int(distTable[code+1].base) <= d {
+			code++
+		}
+		t[256+i] = uint8(code)
+	}
+	return t
+}
+
 // distCode returns the distance code for a distance in 1..32768.
 func distCode(d int) int {
-	// Binary search over the 30-entry base table (called on every match;
-	// a branchy search on 30 entries is plenty fast and simple).
-	lo, hi := 0, 29
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if int(distTable[mid].base) <= d {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
+	if d <= 256 {
+		return int(distCodeTable[d-1])
 	}
-	return lo
+	return int(distCodeTable[256+(d-1)>>7])
 }
 
 // fixedLitLengths returns the fixed lit/len code lengths of RFC 1951 §3.2.6.
@@ -110,4 +128,54 @@ func fixedDistLengths() []uint8 {
 		lens[i] = 5
 	}
 	return lens
+}
+
+// Packed emit tables: each entry holds the bit-reversed (LSB-first) code in
+// the low 16 bits and the code length in bits 16+, so the hot token loop
+// writes a symbol with one table load and one WriteBits call instead of a
+// per-symbol huffman.Reverse.
+const packedLenShift = 16
+
+func packCode(code uint32, length uint8) uint32 {
+	return huffman.Reverse(code, length) | uint32(length)<<packedLenShift
+}
+
+// packEnc fills enc with packed reversed codes for the canonical code over
+// lengths, using codes as canonical-code scratch (len(codes) >= len(lengths)).
+func packEnc(enc []uint32, codes []uint32, lengths []uint8) error {
+	if err := huffman.CanonicalCodesInto(codes[:len(lengths)], lengths); err != nil {
+		return err
+	}
+	for s, l := range lengths {
+		if l == 0 {
+			enc[s] = 0
+			continue
+		}
+		enc[s] = packCode(codes[s], l)
+	}
+	return nil
+}
+
+// fixedLitEnc / fixedDistEnc are the packed emit tables for the fixed trees,
+// built once and shared (read-only) by every encoder.
+var fixedLitEnc, fixedDistEnc = buildFixedEnc()
+
+func buildFixedEnc() (lit [maxNumLit]uint32, dist [maxNumDist]uint32) {
+	litLens := fixedLitLengths()
+	codes, err := huffman.CanonicalCodes(litLens)
+	if err != nil {
+		panic(err)
+	}
+	for s := 0; s < maxNumLit; s++ {
+		lit[s] = packCode(codes[s], litLens[s])
+	}
+	distLens := fixedDistLengths()
+	codes, err = huffman.CanonicalCodes(distLens)
+	if err != nil {
+		panic(err)
+	}
+	for s := 0; s < maxNumDist; s++ {
+		dist[s] = packCode(codes[s], distLens[s])
+	}
+	return lit, dist
 }

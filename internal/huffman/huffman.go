@@ -24,108 +24,183 @@ var ErrInvalidLengths = errors.New("huffman: invalid code lengths")
 // has nonzero frequency it is assigned length one (a degenerate but valid
 // prefix code, as in DEFLATE).
 func BuildLengths(freq []int, maxBits int) ([]uint8, error) {
-	n := len(freq)
-	lengths := make([]uint8, n)
-	var used []int
-	for i, f := range freq {
-		if f < 0 {
-			return nil, fmt.Errorf("huffman: negative frequency for symbol %d", i)
-		}
-		if f > 0 {
-			used = append(used, i)
-		}
-	}
-	switch len(used) {
-	case 0:
-		return lengths, nil
-	case 1:
-		lengths[used[0]] = 1
-		return lengths, nil
-	}
-	if maxBits < 1 || len(used) > 1<<maxBits {
-		return nil, fmt.Errorf("huffman: %d symbols cannot fit in %d bits", len(used), maxBits)
-	}
-
-	// Package-merge. Each item carries its weight and a count of how many
-	// times each original leaf participates.
-	type item struct {
-		weight int64
-		count  []int32 // parallel to used
-	}
-	leaves := make([]item, len(used))
-	for i, s := range used {
-		c := make([]int32, len(used))
-		c[i] = 1
-		leaves[i] = item{weight: int64(freq[s]), count: c}
-	}
-	sort.Slice(leaves, func(a, b int) bool { return leaves[a].weight < leaves[b].weight })
-
-	merge := func(a, b []item) []item {
-		out := make([]item, 0, len(a)+len(b))
-		i, j := 0, 0
-		for i < len(a) && j < len(b) {
-			if a[i].weight <= b[j].weight {
-				out = append(out, a[i])
-				i++
-			} else {
-				out = append(out, b[j])
-				j++
-			}
-		}
-		out = append(out, a[i:]...)
-		out = append(out, b[j:]...)
-		return out
-	}
-	pairUp := func(items []item) []item {
-		out := make([]item, 0, len(items)/2)
-		for i := 0; i+1 < len(items); i += 2 {
-			c := make([]int32, len(used))
-			for k := range c {
-				c[k] = items[i].count[k] + items[i+1].count[k]
-			}
-			out = append(out, item{weight: items[i].weight + items[i+1].weight, count: c})
-		}
-		return out
-	}
-
-	packages := append([]item{}, leaves...)
-	for level := 1; level < maxBits; level++ {
-		packages = merge(leaves, pairUp(packages))
-	}
-	// The first 2n-2 items of the final list determine the lengths: the
-	// length of a leaf is the number of selected items containing it.
-	take := 2*len(used) - 2
-	counts := make([]int32, len(used))
-	for _, it := range packages[:take] {
-		for k, c := range it.count {
-			counts[k] += c
-		}
-	}
-	for k, s := range used {
-		if counts[k] < 1 || counts[k] > int32(maxBits) {
-			return nil, fmt.Errorf("huffman: package-merge produced length %d for symbol %d", counts[k], s)
-		}
-		lengths[s] = uint8(counts[k])
+	lengths := make([]uint8, len(freq))
+	if err := BuildLengthsInto(lengths, freq, maxBits); err != nil {
+		return nil, err
 	}
 	return lengths, nil
+}
+
+// pmLeaf is one nonzero-frequency symbol in the package-merge working set.
+type pmLeaf struct {
+	weight int64
+	sym    int32
+}
+
+// pmScratch holds the package-merge working state so steady-state encoders
+// (which build two or three codes per DEFLATE block) run without per-call
+// allocation. Slices grow on demand and are recycled through pmPool.
+type pmScratch struct {
+	leaves []pmLeaf
+	prevW  []int64 // weights of the previous level's merged list
+	curW   []int64
+	isLeaf [][]bool // per merge level: composition of the merged list
+	active []int32  // diff array over sorted leaves
+}
+
+var pmPool = sync.Pool{New: func() any { return new(pmScratch) }}
+
+// BuildLengthsInto is BuildLengths writing into a caller-provided slice
+// (len(lengths) must equal len(freq)), the zero-steady-state-allocation
+// variant the pooled DEFLATE encoder uses. The result is identical to
+// BuildLengths for every input, including the order-dependent resolution of
+// equal-weight ties.
+func BuildLengthsInto(lengths []uint8, freq []int, maxBits int) error {
+	if len(lengths) != len(freq) {
+		return fmt.Errorf("huffman: lengths size %d != freq size %d", len(lengths), len(freq))
+	}
+	for i := range lengths {
+		lengths[i] = 0
+	}
+	ps := pmPool.Get().(*pmScratch)
+	defer pmPool.Put(ps)
+	leaves := ps.leaves[:0]
+	for i, f := range freq {
+		if f < 0 {
+			ps.leaves = leaves
+			return fmt.Errorf("huffman: negative frequency for symbol %d", i)
+		}
+		if f > 0 {
+			leaves = append(leaves, pmLeaf{weight: int64(f), sym: int32(i)})
+		}
+	}
+	ps.leaves = leaves
+	n := len(leaves)
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		lengths[leaves[0].sym] = 1
+		return nil
+	}
+	if maxBits < 1 || n > 1<<maxBits {
+		return fmt.Errorf("huffman: %d symbols cannot fit in %d bits", n, maxBits)
+	}
+	// The historical implementation ordered leaves with sort.Slice, whose
+	// unstable permutation decides which of two equal-weight symbols gets
+	// the longer code. Golden traces pin those bytes, so the same sort (and
+	// the same leaf-beats-package tie rule below) is kept deliberately.
+	sort.Slice(leaves, func(a, b int) bool { return leaves[a].weight < leaves[b].weight })
+
+	// Counting formulation of package-merge: build each level's merged list
+	// (leaves merged with consecutive pairs of the previous list) recording
+	// only weights and leaf/package composition, then walk back down from
+	// the final list's first 2n-2 items. A taken package at one level
+	// activates its two children at the level below; taken leaves are
+	// always a prefix of the sorted leaf array, so a diff array over that
+	// prefix accumulates every leaf's final code length.
+	levels := maxBits - 1
+	for len(ps.isLeaf) < levels {
+		ps.isLeaf = append(ps.isLeaf, nil)
+	}
+	prevW := ps.prevW[:0]
+	for _, lf := range leaves {
+		prevW = append(prevW, lf.weight)
+	}
+	curW := ps.curW[:0]
+	for lvl := 0; lvl < levels; lvl++ {
+		npkg := len(prevW) / 2
+		curW = curW[:0]
+		flags := ps.isLeaf[lvl][:0]
+		li, pi := 0, 0
+		for li < n || pi < npkg {
+			if li < n && (pi >= npkg || leaves[li].weight <= prevW[2*pi]+prevW[2*pi+1]) {
+				curW = append(curW, leaves[li].weight)
+				flags = append(flags, true)
+				li++
+			} else {
+				curW = append(curW, prevW[2*pi]+prevW[2*pi+1])
+				flags = append(flags, false)
+				pi++
+			}
+		}
+		ps.isLeaf[lvl] = flags
+		// The merged list becomes the next level's package input.
+		prevW, curW = curW, prevW
+	}
+	ps.prevW, ps.curW = prevW, curW
+
+	active := ps.active
+	if cap(active) < n+1 {
+		active = make([]int32, n+1)
+		ps.active = active[:0]
+	}
+	active = active[:n+1]
+	clear(active)
+	take := 2*n - 2
+	for lvl := levels - 1; lvl >= 0; lvl-- {
+		flags := ps.isLeaf[lvl]
+		if take > len(flags) {
+			return fmt.Errorf("huffman: package-merge take %d exceeds list %d", take, len(flags))
+		}
+		leafTaken := 0
+		for _, isLeaf := range flags[:take] {
+			if isLeaf {
+				leafTaken++
+			}
+		}
+		active[0]++
+		active[leafTaken]--
+		take = 2 * (take - leafTaken)
+	}
+	// The bottom list is the leaves themselves.
+	if take > n {
+		return fmt.Errorf("huffman: package-merge take %d exceeds %d leaves", take, n)
+	}
+	active[0]++
+	active[take]--
+
+	run := int32(0)
+	for k := 0; k < n; k++ {
+		run += active[k]
+		if run < 1 || run > int32(maxBits) {
+			return fmt.Errorf("huffman: package-merge produced length %d for symbol %d", run, leaves[k].sym)
+		}
+		lengths[leaves[k].sym] = uint8(run)
+	}
+	return nil
 }
 
 // CanonicalCodes assigns canonical codes (MSB-aligned within their length)
 // to the given lengths: codes of the same length are consecutive in symbol
 // order, and shorter codes lexicographically precede longer ones.
 func CanonicalCodes(lengths []uint8) ([]uint32, error) {
+	codes := make([]uint32, len(lengths))
+	if err := CanonicalCodesInto(codes, lengths); err != nil {
+		return nil, err
+	}
+	return codes, nil
+}
+
+// CanonicalCodesInto is CanonicalCodes writing into a caller-provided slice
+// (len(codes) must equal len(lengths)); encoders that rebuild codes per
+// block use it to stay allocation-free.
+func CanonicalCodesInto(codes []uint32, lengths []uint8) error {
+	if len(codes) != len(lengths) {
+		return ErrInvalidLengths
+	}
 	maxLen := uint8(0)
 	for _, l := range lengths {
 		if l > maxLen {
 			maxLen = l
 		}
 	}
-	codes := make([]uint32, len(lengths))
+	clear(codes)
 	if maxLen == 0 {
-		return codes, nil
+		return nil
 	}
 	if maxLen > 57 {
-		return nil, ErrInvalidLengths
+		return ErrInvalidLengths
 	}
 	var count [58]int
 	for _, l := range lengths {
@@ -146,10 +221,10 @@ func CanonicalCodes(lengths []uint8) ([]uint32, error) {
 		codes[s] = next[l]
 		next[l]++
 		if codes[s] >= 1<<l {
-			return nil, ErrInvalidLengths
+			return ErrInvalidLengths
 		}
 	}
-	return codes, nil
+	return nil
 }
 
 // KraftSum returns the Kraft sum of the lengths scaled by 2^scale where

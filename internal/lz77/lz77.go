@@ -5,7 +5,12 @@
 // this matcher.
 package lz77
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sync"
+)
 
 // Matching parameters fixed by the DEFLATE format.
 const (
@@ -95,9 +100,10 @@ func LevelConfig(level int) (Config, error) {
 // Matcher tokenises input using hash-chain search over a sliding window.
 // A Matcher is reusable via Reset and not safe for concurrent use.
 type Matcher struct {
-	cfg  Config
-	head []int32
-	prev []int32
+	cfg   Config
+	level int
+	head  []int32
+	prev  []int32
 }
 
 // NewMatcher returns a matcher at the given compression level.
@@ -107,12 +113,39 @@ func NewMatcher(level int) (*Matcher, error) {
 		return nil, err
 	}
 	m := &Matcher{
-		cfg:  cfg,
-		head: make([]int32, hashSize),
-		prev: make([]int32, WindowSize),
+		cfg:   cfg,
+		level: level,
+		head:  make([]int32, hashSize),
+		prev:  make([]int32, WindowSize),
 	}
 	m.reset()
 	return m, nil
+}
+
+// matcherPools recycles matchers per level: the head/prev arrays are 256 KB
+// of state that the compress-on-demand hot path would otherwise allocate
+// (and fault in) on every call.
+var matcherPools [9]sync.Pool
+
+// GetMatcher returns a pooled matcher for the level, allocating one only
+// when the pool is empty. Pair with PutMatcher.
+func GetMatcher(level int) (*Matcher, error) {
+	if level < 1 || level > 9 {
+		return nil, fmt.Errorf("lz77: level %d out of range 1..9", level)
+	}
+	if v := matcherPools[level-1].Get(); v != nil {
+		return v.(*Matcher), nil
+	}
+	return NewMatcher(level)
+}
+
+// PutMatcher recycles a matcher obtained from GetMatcher (or NewMatcher).
+// The matcher must not be used after being put back.
+func PutMatcher(m *Matcher) {
+	if m == nil {
+		return
+	}
+	matcherPools[m.level-1].Put(m)
 }
 
 func (m *Matcher) reset() {
@@ -169,17 +202,31 @@ func (m *Matcher) findMatch(data []byte, i, prevLen, maxChain int) (length, dist
 	}
 	best := prevLen
 	bestDist := 0
+	if best >= maxLen {
+		// Nothing at this position can beat the pending match; every
+		// candidate would fail the end-bytes quick reject below.
+		return 0, 0
+	}
+	// Quick-reject pair: a candidate can only beat the current best if it
+	// matches through byte best, so compare the two bytes ending there in
+	// one load. Hoisted out of the chain walk and refreshed when best
+	// improves (best < maxLen holds throughout, keeping i+best in bounds).
+	// All chain entries are positions this Tokenize call inserted before
+	// reaching i, so every candidate j satisfies j < i and the loads below
+	// stay in bounds.
+	var scanEnd uint16
+	if best >= 1 {
+		scanEnd = binary.LittleEndian.Uint16(data[i+best-1:])
+	}
+	// The fixed-size array views let the compiler drop bounds checks on the
+	// masked chain loads in the hot walk.
+	prev := (*[WindowSize]int32)(m.prev)
 	cand := m.head[m.hashAt(data, i)]
-	for chain := 0; chain < maxChain && cand >= int32(limit) && cand >= 0; chain++ {
+	for chain := 0; chain < maxChain && cand >= int32(limit); chain++ {
 		j := int(cand)
-		if j >= i {
-			// Stale entry from a previous Reset epoch.
-			cand = m.prev[j&(WindowSize-1)]
-			continue
-		}
-		// Quick rejects: last byte of the would-be match, then first.
-		if best >= 1 && (i+best >= len(data) || data[j+best] != data[i+best]) {
-			cand = m.prev[j&(WindowSize-1)]
+		// Quick reject: the two bytes closing the would-be match.
+		if best >= 1 && binary.LittleEndian.Uint16(data[j+best-1:]) != scanEnd {
+			cand = prev[j&(WindowSize-1)]
 			continue
 		}
 		l := matchLen(data, j, i, maxLen)
@@ -189,8 +236,9 @@ func (m *Matcher) findMatch(data []byte, i, prevLen, maxChain int) (length, dist
 			if l >= nice {
 				break
 			}
+			scanEnd = binary.LittleEndian.Uint16(data[i+best-1:])
 		}
-		cand = m.prev[j&(WindowSize-1)]
+		cand = prev[j&(WindowSize-1)]
 	}
 	if bestDist == 0 || best < MinMatch {
 		return 0, 0
@@ -198,8 +246,17 @@ func (m *Matcher) findMatch(data []byte, i, prevLen, maxChain int) (length, dist
 	return best, bestDist
 }
 
+// matchLen compares 8 bytes per step; j < i keeps every load inside data
+// because i+maxLen <= len(data).
 func matchLen(data []byte, j, i, maxLen int) int {
 	n := 0
+	for n+8 <= maxLen {
+		x := binary.LittleEndian.Uint64(data[j+n:]) ^ binary.LittleEndian.Uint64(data[i+n:])
+		if x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		n += 8
+	}
 	for n < maxLen && data[j+n] == data[i+n] {
 		n++
 	}
@@ -231,11 +288,35 @@ func (m *Matcher) Tokenize(data []byte, emit func(Token)) {
 			}
 			break
 		}
-		chain := m.cfg.MaxChain
-		if havePrev && prevLen >= m.cfg.GoodLength {
-			chain >>= 2
+		if havePrev && prevLen >= m.cfg.MaxLazy {
+			// The pending match is already long enough that the lazy
+			// comparison below could never prefer a new one (prevLen >=
+			// MaxLazy fails its guard); skip the search entirely, as zlib
+			// does. Emitting here is the same decision the comparison would
+			// reach.
+			emit(Match(prevLen, prevDist))
+			end := i - 1 + prevLen
+			for k := i; k < end && k+MinMatch <= n; k++ {
+				m.insert(data, k)
+			}
+			i = end
+			havePrev = false
+			continue
 		}
-		curLen, curDist := m.findMatch(data, i, 0, chain)
+		chain := m.cfg.MaxChain
+		searchFloor := 0
+		if havePrev {
+			if prevLen >= m.cfg.GoodLength {
+				chain >>= 2
+			}
+			// zlib's prev_length pruning: the lazy comparison only cares
+			// whether this position beats the pending match, so the search
+			// may reject anything not longer than prevLen. findMatch then
+			// returns 0 when nothing beats it, which leaves the curLen >
+			// prevLen decision unchanged.
+			searchFloor = prevLen
+		}
+		curLen, curDist := m.findMatch(data, i, searchFloor, chain)
 
 		if !m.cfg.Lazy {
 			if curLen >= MinMatch {

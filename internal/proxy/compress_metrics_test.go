@@ -1,0 +1,60 @@
+package proxy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/obs"
+)
+
+// TestObserveCompress: one artifact build lands its input bytes on the
+// right per-scheme counter, feeds the throughput histogram, and surfaces in
+// both the Stats snapshot and the registry text the admin plane serves.
+func TestObserveCompress(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newMetrics(reg)
+
+	m.observeCompress(codec.Gzip, 1<<20, 100*time.Millisecond) // 10 MiB/s
+	m.observeCompress(codec.Gzip, 1<<20, 50*time.Millisecond)
+	m.observeCompress(codec.Bzip2, 4096, time.Millisecond)
+	m.observeCompress(codec.Gzip, 123, 0) // zero duration: count bytes, skip rate
+
+	s := m.snapshot()
+	if got := s.CompressInputBytes["gzip"]; got != 2<<20+123 {
+		t.Fatalf("gzip input bytes = %d, want %d", got, 2<<20+123)
+	}
+	if got := s.CompressInputBytes["bzip2"]; got != 4096 {
+		t.Fatalf("bzip2 input bytes = %d, want 4096", got)
+	}
+	if got := s.CompressInputBytes["zlib"]; got != 0 {
+		t.Fatalf("zlib input bytes = %d, want 0", got)
+	}
+
+	hs := m.compressRate.Snapshot()
+	var samples int64
+	for _, c := range hs.Counts {
+		samples += c
+	}
+	if samples != 3 {
+		t.Fatalf("throughput histogram holds %d samples, want 3", samples)
+	}
+
+	var sb strings.Builder
+	if err := obs.WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"server_compress_bytes_per_second",
+		"server_compress_input_bytes_total_gzip",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("registry text missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(s.String(), "compress input:") {
+		t.Fatalf("Stats.String() missing compress line:\n%s", s.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/obs"
 )
 
@@ -65,12 +66,22 @@ type metrics struct {
 	cacheBytes   *obs.Gauge
 
 	latency *obs.Histogram
+
+	// Compression-plane instruments: per-scheme input volume (the registry
+	// carries no labels, so each scheme gets a suffixed counter) and the
+	// server-side compress throughput distribution.
+	compressInput [len(compressSchemes)]*obs.Counter
+	compressRate  *obs.Histogram
 }
+
+// compressSchemes are the schemes the compression-plane counters cover, in
+// a fixed order shared by metrics registration and Stats.
+var compressSchemes = [4]codec.Scheme{codec.Gzip, codec.Compress, codec.Bzip2, codec.Zlib}
 
 // newMetrics registers the server's instrument set on reg. Metric names
 // are part of the admin-plane contract documented in README "Observability".
 func newMetrics(reg *obs.Registry) *metrics {
-	return &metrics{
+	m := &metrics{
 		requests:     reg.Counter("proxy_requests_total", "Requests parsed off accepted connections."),
 		cacheHits:    reg.Counter("proxy_cache_hits_total", "Requests served from the artifact cache."),
 		cacheMisses:  reg.Counter("proxy_cache_misses_total", "Requests that missed the artifact cache."),
@@ -91,6 +102,29 @@ func newMetrics(reg *obs.Registry) *metrics {
 		cacheBytes:   reg.Gauge("proxy_cache_bytes", "Bytes currently charged to the artifact cache."),
 
 		latency: reg.Histogram("proxy_conn_seconds", "Per-connection wall time.", latencyBoundsSeconds()),
+
+		compressRate: reg.Histogram("server_compress_bytes_per_second",
+			"Raw bytes consumed per second of wall time building one artifact (all workers combined), one sample per compression.",
+			[]float64{1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30}),
+	}
+	for i, s := range compressSchemes {
+		m.compressInput[i] = reg.Counter("server_compress_input_bytes_total_"+s.String(),
+			"Raw bytes submitted to "+s.String()+" compression when building artifacts.")
+	}
+	return m
+}
+
+// observeCompress records one artifact build: its scheme's input volume and
+// the build's overall throughput.
+func (m *metrics) observeCompress(scheme codec.Scheme, rawBytes int, d time.Duration) {
+	for i, s := range compressSchemes {
+		if s == scheme {
+			m.compressInput[i].Add(int64(rawBytes))
+			break
+		}
+	}
+	if sec := d.Seconds(); sec > 0 {
+		m.compressRate.Observe(float64(rawBytes) / sec)
 	}
 }
 
@@ -150,6 +184,10 @@ type Stats struct {
 	// Latency is the per-connection wall-time histogram, one bucket per
 	// bound plus a trailing overflow bucket.
 	Latency []LatencyBucket
+
+	// CompressInputBytes is raw bytes submitted to each compression scheme
+	// when building artifacts, keyed by scheme name.
+	CompressInputBytes map[string]int64
 }
 
 // snapshot materialises the instruments into a Stats value.
@@ -178,6 +216,10 @@ func (m *metrics) snapshot() Stats {
 		}
 		s.Latency = append(s.Latency, b)
 	}
+	s.CompressInputBytes = make(map[string]int64, len(compressSchemes))
+	for i, sc := range compressSchemes {
+		s.CompressInputBytes[sc.String()] = m.compressInput[i].Value()
+	}
 	return s
 }
 
@@ -192,6 +234,11 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "served: %d bytes raw, %d bytes compressed\n", s.BytesServedRaw, s.BytesServedCompressed)
 	fmt.Fprintf(&b, "conns: %d total, %d active, %d rejected, %d errors\n",
 		s.ConnsTotal, s.ConnsActive, s.ConnsRejected, s.Errors)
+	b.WriteString("compress input:")
+	for _, sc := range compressSchemes {
+		fmt.Fprintf(&b, " %s=%d", sc, s.CompressInputBytes[sc.String()])
+	}
+	b.WriteString("\n")
 	b.WriteString("latency:")
 	for _, bk := range s.Latency {
 		if bk.Count == 0 {

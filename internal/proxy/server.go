@@ -278,11 +278,32 @@ func (s *Server) compressBlocks(content []byte, scheme codec.Scheme, d selective
 	if err != nil {
 		return nil, err
 	}
-	enc, err := selective.Encode(content, c, d)
+	start := time.Now()
+	enc, err := selective.EncodeParallel(content, c, d, s.spawnCompress)
 	if err != nil {
 		return nil, err
 	}
+	s.metrics.observeCompress(scheme, len(content), time.Since(start))
 	return enc.Blocks, nil
+}
+
+// spawnCompress offers a block-compression task an extra worker-pool slot.
+// The compressing request already holds one slot (acquired in
+// getOrCompress), so extra slots are taken non-blocking: when the pool is
+// saturated the task runs inline on the leader's slot instead of queueing —
+// a single cache miss fans out across idle workers without ever
+// deadlocking on or oversubscribing the bounded pool.
+func (s *Server) spawnCompress(task func()) bool {
+	select {
+	case s.workerSem <- struct{}{}:
+	default:
+		return false
+	}
+	go func() {
+		defer func() { <-s.workerSem }()
+		task()
+	}()
+	return true
 }
 
 // getOrCompress is the cache/singleflight/worker-pool fast path: return

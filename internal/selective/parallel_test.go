@@ -1,0 +1,102 @@
+package selective_test
+
+// Determinism tests for the parallel selective encoder: block contents land
+// at fixed indices, so the container bytes are a pure function of the input
+// and codec — never of whether (or where) the per-block work ran.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/selective"
+	"repro/internal/workload"
+)
+
+// TestEncodeParallelMatchesSequential compares the goroutine-spawning path
+// against the inline path, and a saturated spawn (always refusing, forcing
+// inline fallback) against both.
+func TestEncodeParallelMatchesSequential(t *testing.T) {
+	data := workload.Generate(workload.ClassSource, 700*1000, 21)
+	c := codec.MustNew(codec.Gzip, 0)
+	d := selective.ModelDecider{}
+
+	seq, err := selective.Encode(data, c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	spawnAll := func(task func()) bool {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task()
+		}()
+		return true
+	}
+	par, err := selective.EncodeParallel(data, c, d, spawnAll)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spawnNone := func(task func()) bool { return false }
+	inline, err := selective.EncodeParallel(data, c, d, spawnNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(par.Bytes(), seq.Bytes()) {
+		t.Fatal("parallel encode bytes differ from sequential")
+	}
+	if !bytes.Equal(inline.Bytes(), seq.Bytes()) {
+		t.Fatal("saturated-spawn encode bytes differ from sequential")
+	}
+
+	dec, err := selective.Decode(par.Bytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("parallel container does not round trip")
+	}
+}
+
+// TestEncodeBlocksParallelOrdering: with many small blocks and maximal
+// goroutine interleaving, block order and per-block flags must still match
+// the sequential encoder exactly.
+func TestEncodeBlocksParallelOrdering(t *testing.T) {
+	data := workload.Generate(workload.ClassMail, 256*1024, 4)
+	c := codec.MustNew(codec.Zlib, 6)
+	d := selective.AlwaysCompress{}
+	const blockSize = 8 * 1024
+
+	seq, err := selective.EncodeBlocks(data, c, d, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	par, err := selective.EncodeBlocksParallel(data, c, d, blockSize, func(task func()) bool {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task()
+		}()
+		return true
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Blocks) != len(seq.Blocks) {
+		t.Fatalf("parallel produced %d blocks, sequential %d", len(par.Blocks), len(seq.Blocks))
+	}
+	for i := range par.Blocks {
+		if par.Blocks[i].Compressed != seq.Blocks[i].Compressed ||
+			!bytes.Equal(par.Blocks[i].Payload, seq.Blocks[i].Payload) {
+			t.Fatalf("block %d differs between parallel and sequential", i)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/energy"
@@ -167,38 +168,79 @@ func Encode(data []byte, c codec.Codec, d Decider) (*Encoded, error) {
 // EncodeBlocks is Encode with an explicit block size, used by the
 // block-size ablation study.
 func EncodeBlocks(data []byte, c codec.Codec, d Decider, blockSize int) (*Encoded, error) {
+	return EncodeBlocksParallel(data, c, d, blockSize, nil)
+}
+
+// EncodeParallel is Encode with block compression fanned out through spawn:
+// each block's compress-and-decide step may run on a worker (spawn returns
+// true after arranging to run the task) or inline (spawn is nil, or returns
+// false — the caller's backpressure signal). Blocks are independent and land
+// at fixed indices, so the encoded stream is byte-identical to Encode's for
+// every spawn policy and worker count.
+func EncodeParallel(data []byte, c codec.Codec, d Decider, spawn func(task func()) bool) (*Encoded, error) {
+	return EncodeBlocksParallel(data, c, d, BlockSize, spawn)
+}
+
+// EncodeBlocksParallel is EncodeBlocks with the spawn hook of EncodeParallel.
+// The codec must be safe for concurrent use when spawn is non-nil (every
+// codec in this repository is).
+func EncodeBlocksParallel(data []byte, c codec.Codec, d Decider, blockSize int, spawn func(task func()) bool) (*Encoded, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("selective: block size %d", blockSize)
 	}
 	e := &Encoded{Scheme: c.Scheme()}
+	if len(data) == 0 {
+		return e, nil
+	}
 	minSize := d.MinSizeBytes()
 	// Whole-file rule: below the threshold size the file is not to be
 	// compressed before transferring.
 	wholeFileRaw := len(data) < minSize
 
-	for off := 0; off < len(data) || (off == 0 && len(data) == 0); off += blockSize {
-		if len(data) == 0 {
-			break
-		}
+	n := (len(data) + blockSize - 1) / blockSize
+	e.Blocks = make([]Block, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for bi := 0; bi < n; bi++ {
+		off := bi * blockSize
 		end := off + blockSize
 		if end > len(data) {
 			end = len(data)
 		}
-		raw := data[off:end]
-		blk := Block{RawLen: len(raw), Payload: raw}
-		if !wholeFileRaw && len(raw) >= minSize {
-			comp, err := c.Compress(raw)
-			if err != nil {
-				return nil, fmt.Errorf("selective: compress block at %d: %w", off, err)
-			}
-			if d.ShouldCompress(len(raw), len(comp)) {
-				blk.Compressed = true
-				blk.Payload = comp
-			}
+		bi, raw := bi, data[off:end]
+		task := func() {
+			defer wg.Done()
+			e.Blocks[bi], errs[bi] = encodeBlock(raw, off, c, d, wholeFileRaw, minSize)
 		}
-		e.Blocks = append(e.Blocks, blk)
+		wg.Add(1)
+		if spawn == nil || !spawn(task) {
+			task()
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return e, nil
+}
+
+// encodeBlock applies Figure 10's per-block decision to one raw block.
+func encodeBlock(raw []byte, off int, c codec.Codec, d Decider, wholeFileRaw bool, minSize int) (Block, error) {
+	blk := Block{RawLen: len(raw), Payload: raw}
+	if wholeFileRaw || len(raw) < minSize {
+		return blk, nil
+	}
+	comp, err := c.Compress(raw)
+	if err != nil {
+		return Block{}, fmt.Errorf("selective: compress block at %d: %w", off, err)
+	}
+	if d.ShouldCompress(len(raw), len(comp)) {
+		blk.Compressed = true
+		blk.Payload = comp
+	}
+	return blk, nil
 }
 
 // Decode parses and decompresses a container produced by Encode. maxSize,

@@ -47,6 +47,7 @@ go test -run='^$' -fuzz=FuzzScenarioSpec -fuzztime=10s ./internal/scenario
 go test -run='^$' -fuzz=FuzzReadRequest -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzReadBlockFrame -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzGzipDifferential -fuzztime=10s ./internal/flate
+go test -run='^$' -fuzz=FuzzDeflateDifferential -fuzztime=10s ./internal/flate
 go test -run='^$' -fuzz=FuzzSELRoundTrip -fuzztime=10s ./internal/selective
 go test -run='^$' -fuzz=FuzzSELParse -fuzztime=10s ./internal/selective
 
@@ -122,6 +123,15 @@ check_cover ./internal/workload 93
 # runs (scripts/bench.sh is the full trajectory harness).
 go test -run 'TestReadBlockPooledAllocs|TestGetBufRecycles' -count=1 ./internal/proxy
 go test -run 'TestDecodeLSBZeroAlloc' -count=1 ./internal/huffman
+go test -run 'TestDeflateSteadyStateAllocs|TestStreamingWriterSteadyAllocs' -count=1 ./internal/flate
+
+# Parallel-compression determinism gate: the chunked container and the
+# selective encoder must emit byte-identical output for every worker count
+# (1 vs N), so cached artifacts and golden traces never depend on core
+# count or scheduling.
+go test -run 'TestParallelCompressDeterminism|TestParallelBelowThresholdMatchesSequential' -count=1 ./internal/flate
+go test -run 'TestCompressParallelDeterministic|TestCompressParallelFallbacks' -count=1 ./internal/codec
+go test -run 'TestEncodeParallelMatchesSequential|TestEncodeBlocksParallelOrdering' -count=1 ./internal/selective
 go test -run '^$' -bench 'BenchmarkCodec' -benchtime=100x .
 go test -run '^$' -bench 'BenchmarkDecodeTable$' -benchtime=100x ./internal/huffman
 
