@@ -24,6 +24,15 @@
 // expected-outcome bounds — and the ad-hoc shape flags are ignored.
 // The same seed always produces a byte-identical trace, so any soak
 // failure CI reports can be replayed locally from its printed seed.
+// With -events FILE the soak also writes its canonical wide-event stream
+// as JSONL (same determinism guarantee), and -calib prints the post-run
+// calibration report: energy-model coefficients re-fitted from that
+// telemetry against the paper's Table 1.
+//
+// The calib subcommand fits a previously exported event stream:
+//
+//	energysim calib -events soak.jsonl
+//	energysim calib -events soak.jsonl -window 10s
 package main
 
 import (
@@ -32,8 +41,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/calib"
 	"repro/internal/experiment"
 	"repro/internal/harness"
+	"repro/internal/obs/agg"
+	"repro/internal/obs/export"
 	"repro/internal/scenario"
 )
 
@@ -47,6 +59,9 @@ func main() {
 func run() error {
 	if len(os.Args) > 1 && os.Args[1] == "soak" {
 		return runSoak(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "calib" {
+		return runCalib(os.Args[2:])
 	}
 	var (
 		scale  = flag.Float64("scale", 0.125, "corpus size scale for large files")
@@ -90,6 +105,8 @@ func runSoak(argv []string) error {
 		fault    = fs.Float64("fault", 0.01, "per-operation fault probability (fragment/reset/truncate/bit-flip)")
 		churn    = fs.Int("churn", 100, "cache-churn re-registrations over the run (0 = off)")
 		trace    = fs.Bool("trace", false, "print the full canonical trace instead of the digest")
+		events   = fs.String("events", "", "write the canonical wide-event stream as JSONL to this file")
+		calibOut = fs.Bool("calib", false, "print the post-run calibration report (model re-fit from telemetry)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -137,6 +154,26 @@ func runSoak(argv []string) error {
 		fmt.Printf("soak seed=%d: %d fetches (%d ok, %d retried) in %s virtual; trace sha256=%x\n",
 			*seed, len(r.Records), ok, retried, r.Elapsed, sum[:8])
 	}
+	if *events != "" {
+		f, ferr := os.Create(*events)
+		if ferr != nil {
+			return ferr
+		}
+		werr := export.WriteJSONL(f, r.Events())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("soak seed=%d: writing events: %w", *seed, werr)
+		}
+	}
+	if *calibOut {
+		fits, cerr := calib.Calibrate(r.Events())
+		if cerr != nil {
+			return fmt.Errorf("soak seed=%d: %w", *seed, cerr)
+		}
+		fmt.Print(calib.Render(fits))
+	}
 	for _, v := range r.Violations {
 		fmt.Fprintln(os.Stderr, "oracle violation:", v)
 	}
@@ -144,6 +181,46 @@ func runSoak(argv []string) error {
 		return fmt.Errorf("soak seed=%d: %d oracle violations; first: %s (replay: %s)",
 			*seed, len(r.Violations), r.Violations[0], replay)
 	}
+	return nil
+}
+
+// runCalib re-fits the energy model from a previously exported event
+// stream and prints the calibration report; with -window it also prints
+// the windowed (scheme, device) rollup table over virtual time.
+func runCalib(argv []string) error {
+	fs := flag.NewFlagSet("calib", flag.ContinueOnError)
+	var (
+		eventsPath = fs.String("events", "", "JSONL wide-event stream to calibrate (required)")
+		window     = fs.Duration("window", 0, "also print windowed rollups at this width (virtual time)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *eventsPath == "" {
+		return fmt.Errorf("calib: -events FILE is required")
+	}
+	f, err := os.Open(*eventsPath)
+	if err != nil {
+		return err
+	}
+	evs, err := export.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("calib: reading %s: %w", *eventsPath, err)
+	}
+	if *window > 0 {
+		a := agg.New(*window)
+		for _, e := range evs {
+			a.Observe(e)
+		}
+		fmt.Print(agg.Render(a.Snapshot()))
+		fmt.Println()
+	}
+	fits, err := calib.Calibrate(evs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(calib.Render(fits))
 	return nil
 }
 

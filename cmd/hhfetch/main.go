@@ -46,6 +46,7 @@ func run() error {
 		retryBase  = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
 		maxBytes   = flag.Int64("max-bytes", 0, "refuse transfers whose claimed size exceeds this (0 = 1 GiB default)")
 		trace      = flag.Bool("trace", false, "print the fetch's phase/energy span as JSON")
+		eventsPath = flag.String("events", "", "append the fetch's wide event as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -63,6 +64,24 @@ func run() error {
 	if *trace {
 		tracer = repro.NewTracer(4)
 		cli.Tracer = tracer
+	}
+	if *eventsPath != "" {
+		f, ferr := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return ferr
+		}
+		sink := repro.NewEventSink(f, 0, 0)
+		defer func() {
+			_ = sink.Close()
+			_ = f.Close()
+		}()
+		cli.Events = sink
+		cli.DeviceClass = repro.DeviceIPAQ11
+		if *rateMbps == 2 {
+			cli.DeviceClass = repro.DeviceIPAQ2
+		}
+		// Modeled link rate in bytes/s, the event stream's link_bps field.
+		cli.LinkRateBps = *rateMbps * 1e6 / 8
 	}
 	if *list {
 		names, err := cli.List()

@@ -26,6 +26,8 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/agg"
+	"repro/internal/obs/export"
 	"repro/internal/scenario"
 )
 
@@ -43,6 +45,7 @@ func run() error {
 		clients  = flag.Int("clients", 0, "override the spec's client count")
 		fetches  = flag.Int("fetches", 0, "override the spec's fetches per client")
 		metrics  = flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format")
+		events   = flag.String("events", "", "write the canonical wide-event stream as JSONL to this file")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -68,6 +71,19 @@ func run() error {
 		return err
 	}
 	report(os.Stdout, spec.Name, *seed, rep, time.Since(start))
+	if *events != "" {
+		f, ferr := os.Create(*events)
+		if ferr != nil {
+			return ferr
+		}
+		werr := export.WriteJSONL(f, rep.Events())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing events: %w", werr)
+		}
+	}
 	if *metrics {
 		if err := obs.WritePrometheus(os.Stdout, fleetRegistry(rep).Snapshot()); err != nil {
 			return err
@@ -119,7 +135,7 @@ func report(w *os.File, name string, seed int64, rep *harness.Report, wall time.
 	fmt.Fprintf(w, "loadgen %s seed=%d: %d clients, %d/%d fetches ok in %s virtual (%s wall)\n",
 		name, seed, rep.Scenario.Clients, ok, len(rep.Records), rep.Elapsed, wall.Round(time.Millisecond))
 	fmt.Fprintf(w, "latency: p50=%s p99=%s p999=%s max=%s\n",
-		pct(lat, 0.50), pct(lat, 0.99), pct(lat, 0.999), pct(lat, 1))
+		agg.Percentile(lat, 0.50), agg.Percentile(lat, 0.99), agg.Percentile(lat, 0.999), agg.Percentile(lat, 1))
 
 	joules, rawMB := rep.EnergyDelivered()
 	if rawMB > 0 {
@@ -146,21 +162,6 @@ func report(w *os.File, name string, seed int64, rep *harness.Report, wall time.
 		}
 		fmt.Fprintf(w, "scheme %-24s %6d fetches %8.2f MB %8.3f MB/s\n", st.key, st.fetches, st.rawMB, thru)
 	}
-}
-
-// pct reads the q-quantile from an ascending latency slice.
-func pct(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(sorted))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 // fleetRegistry folds the finished run into an obs registry so the

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -49,8 +50,9 @@ func run() error {
 		maxConns   = flag.Int("max-conns", 0, "max concurrent connections (0 = 256)")
 		faultRate  = flag.Float64("fault-rate", 0, "per-I/O fault probability for resets, truncations and bit-flips (0 disables injection)")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
-		adminAddr  = flag.String("admin", "", "serve the admin plane (/metrics, /statsz, /tracez, /healthz, /debug/pprof) on this address")
+		adminAddr  = flag.String("admin", "", "serve the admin plane (/metrics, /statsz, /tracez, /eventsz, /healthz, /debug/pprof) on this address")
 		logLevel   = flag.String("log-level", "warn", "structured log level: debug, info, warn, error")
+		eventsPath = flag.String("events", "", "write serve-side wide events as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -58,11 +60,26 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The sink always exists so /eventsz serves the recent-event ring even
+	// without -events; a file just adds the JSONL drain.
+	var eventsFile *os.File
+	if *eventsPath != "" {
+		eventsFile, err = os.Create(*eventsPath)
+		if err != nil {
+			return err
+		}
+	}
+	var sinkWriter io.Writer
+	if eventsFile != nil {
+		sinkWriter = eventsFile
+	}
+	sink := repro.NewEventSink(sinkWriter, 0, 0)
 	cfg := repro.ProxyConfig{
 		CacheBytes: *cacheBytes,
 		Workers:    *workers,
 		MaxConns:   *maxConns,
 		Logger:     logger,
+		Events:     sink,
 	}
 	if *faultRate > 0 {
 		plan := repro.FaultPlan{
@@ -146,6 +163,14 @@ func run() error {
 	fmt.Println("shutting down")
 	if err := srv.Close(); err != nil {
 		return err
+	}
+	if err := sink.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "proxyd: event sink:", err)
+	}
+	if eventsFile != nil {
+		if err := eventsFile.Close(); err != nil {
+			return err
+		}
 	}
 	fmt.Println(srv.Stats())
 	return nil

@@ -19,7 +19,6 @@
 package harness
 
 import (
-	"errors"
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
@@ -217,6 +216,11 @@ type FetchRecord struct {
 	// percentiles. Like all timing it is excluded from the canonical
 	// trace.
 	Virtual time.Duration
+	// VStart is the fetch's start offset on the virtual clock — the
+	// ordering key of the canonical wide-event stream (Report.Events).
+	// Virtual timestamps are seed-deterministic (CPU work costs the
+	// ledger zero virtual time), unlike anything wall-clock.
+	VStart time.Duration
 }
 
 // Report is everything one Run produced: the per-fetch records in
@@ -266,20 +270,10 @@ func (r *Report) Trace() string {
 	return b.String()
 }
 
-// errClass folds an error into a stable trace token.
+// errClass folds an error into a stable trace token — the same
+// vocabulary the wide-event stream uses.
 func errClass(err error) string {
-	switch {
-	case err == nil:
-		return ""
-	case errors.Is(err, proxy.ErrBusy):
-		return "busy"
-	case errors.Is(err, proxy.ErrNotFound):
-		return "notfound"
-	case errors.Is(err, proxy.ErrProtocol):
-		return "protocol"
-	default:
-		return "err"
-	}
+	return proxy.ErrorClass(err)
 }
 
 // mix spreads (seed, salt) into an independent rng seed (SplitMix64-ish),
@@ -380,7 +374,7 @@ func Run(s Scenario) (*Report, error) {
 				got, stats, err := cli.Fetch(f.name, scheme, mode)
 				rec := FetchRecord{Client: i, Index: j, Name: f.name,
 					Scheme: scheme, Mode: mode, Err: errClass(err), Stats: stats,
-					Virtual: clock.Elapsed() - fetchStart}
+					Virtual: clock.Elapsed() - fetchStart, VStart: fetchStart}
 				if err == nil {
 					rec.Raw = len(got)
 					rec.CRC = crc32.ChecksumIEEE(got)

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileInterpolation pins the linear interpolation inside a bucket:
+// four samples in a single (0, 10] bucket spread evenly across it.
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	for i := 0; i < 4; i++ {
+		h.Observe(3) // bucket membership is all that matters
+	}
+	s := h.Snapshot()
+	for q, want := range map[float64]float64{0.25: 2.5, 0.5: 5, 1: 10} {
+		if got := s.Quantile(q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got := s.Quantile(-1); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Quantile(-1) = %g, want 2.5 (clamped to first sample)", got)
+	}
+	if got := s.Quantile(2); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Quantile(2) = %g, want 10 (clamped to last sample)", got)
+	}
+}
+
+// TestQuantileOverflowBucket: a quantile landing past the last finite
+// bound cannot be interpolated — it reports the last bound, the largest
+// value the histogram can still vouch for.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(50)
+	s := h.Snapshot()
+	if got := s.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %g, want 2 (last finite bound)", got)
+	}
+	if got := s.Quantile(0.99); got != 2 {
+		t.Errorf("Quantile(0.99) = %g, want 2 (overflow bucket)", got)
+	}
+	// The first sample still resolves inside its real bucket.
+	if got := s.Quantile(0.01); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Quantile(0.01) = %g, want 1", got)
+	}
+}
+
+// TestQuantileEmpty: no samples (or no bounds at all) must read NaN, not a
+// fake zero a dashboard would happily plot.
+func TestQuantileEmpty(t *testing.T) {
+	if got := NewHistogram([]float64{1}).Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %g, want NaN", got)
+	}
+	if got := (HistogramSnapshot{Count: 3}).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("boundless snapshot Quantile = %g, want NaN", got)
+	}
+}
+
+// TestQuantileNonPositiveFirstBound: when the bucket edges start at or
+// below zero the first bucket interpolates from its own bound, not from
+// an implicit 0 above it.
+func TestQuantileNonPositiveFirstBound(t *testing.T) {
+	s := HistogramSnapshot{Bounds: []float64{0, 10}, Counts: []int64{3, 0, 0}, Count: 3}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile(0.5) = %g, want 0 (bucket bounded above by 0)", got)
+	}
+}
+
+// TestNewHistogramValidatesBounds: standalone histograms keep the
+// registry's strictly-increasing invariant.
+func TestNewHistogramValidatesBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-increasing bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

@@ -102,6 +102,22 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// NewHistogram returns a standalone histogram with the given strictly
+// increasing bucket upper bounds, for callers (like the windowed
+// aggregator) that need histograms outside any registry and therefore
+// outside the Prometheus naming contract.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
 // HistogramSnapshot is one histogram's point-in-time state. Counts has
 // len(Bounds)+1 entries, the last being the overflow bucket; Count is the
 // sum of Counts, so "sum of buckets == count" holds by construction.
@@ -131,6 +147,53 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Count += s.Counts[i]
 	}
 	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucketed
+// counts by linear interpolation inside the containing bucket. An empty
+// histogram returns NaN. A quantile landing in the overflow bucket
+// returns the last finite bound — the histogram cannot see past it — and
+// the first bucket interpolates from an implicit lower edge of 0 (or
+// Bounds[0] when the edge set starts at or below zero).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the sample the quantile falls on.
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if rank > cum {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no upper edge to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		} else if s.Bounds[0] <= 0 {
+			lo = s.Bounds[0]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*((rank-prev)/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // MetricSnapshot is one counter or gauge in a registry snapshot.

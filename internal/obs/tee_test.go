@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestTracerSnapshotSizing is the regression test for the ring snapshot
+// allocation: an empty tracer returns nil (no allocation at all), and a
+// partially filled ring allocates exactly Len() slots, not the ring's
+// full capacity.
+func TestTracerSnapshotSizing(t *testing.T) {
+	tr := NewTracer(64)
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("empty tracer Snapshot = %v, want nil", got)
+	}
+	for i := 0; i < 2; i++ {
+		tr.Start(fmt.Sprintf("s%d", i)).Finish()
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("len = %d, want 2", len(snap))
+	}
+	if cap(snap) != tr.Len() {
+		t.Errorf("cap = %d, want Len() = %d (snapshot must not size to ring capacity)", cap(snap), tr.Len())
+	}
+}
+
+// TestTracerOnFinishTee: the Finish tee must see every finished span with
+// its recorded state (the export sink rides this hook), and a nil tracer
+// must absorb SetOnFinish.
+func TestTracerOnFinishTee(t *testing.T) {
+	tr := NewTracer(2)
+	var seen []SpanData
+	tr.SetOnFinish(func(d SpanData) { seen = append(seen, d) })
+
+	sp := tr.Start("serve")
+	sp.SetAttr("name", "f.xml")
+	sp.Finish()
+	sp2 := tr.Start("serve")
+	sp2.Fail(errors.New("boom"))
+	sp2.Finish()
+
+	if len(seen) != 2 {
+		t.Fatalf("tee saw %d spans, want 2", len(seen))
+	}
+	if seen[0].Attrs["name"] != "f.xml" || seen[0].Err != "" {
+		t.Errorf("first teed span = %+v", seen[0])
+	}
+	if seen[1].Err != "boom" {
+		t.Errorf("second teed span err = %q, want boom", seen[1].Err)
+	}
+
+	var nilTr *Tracer
+	nilTr.SetOnFinish(func(SpanData) { t.Error("nil tracer must not invoke the tee") })
+	nilTr.Start("x").Finish()
+}

@@ -249,6 +249,10 @@ type Tracer struct {
 	ring  []SpanData
 	head  int // next write position
 	count int
+	// onFinish, when set, observes every finished span after it lands in
+	// the ring — the tee the wide-event export sink hangs off, so a live
+	// tracer can feed /eventsz without the dataplane knowing about sinks.
+	onFinish func(SpanData)
 }
 
 // NewTracer returns a tracer retaining up to capacity finished spans
@@ -273,23 +277,44 @@ func (t *Tracer) Start(name string) *Span {
 	}}
 }
 
+// SetOnFinish installs a hook observing every span after it is pushed to
+// the ring. The hook runs outside the tracer's lock, on the goroutine that
+// called Finish; it must not block. A nil tracer ignores the call.
+func (t *Tracer) SetOnFinish(fn func(SpanData)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onFinish = fn
+	t.mu.Unlock()
+}
+
 func (t *Tracer) push(d SpanData) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.ring[t.head] = d
 	t.head = (t.head + 1) % len(t.ring)
 	if t.count < len(t.ring) {
 		t.count++
 	}
+	fn := t.onFinish
+	t.mu.Unlock()
+	if fn != nil {
+		fn(d)
+	}
 }
 
-// Snapshot returns the retained spans, oldest finished first.
+// Snapshot returns the retained spans, oldest finished first. The result
+// is sized exactly to Len(): an idle tracer returns nil, not a slice with
+// the ring's full capacity behind it.
 func (t *Tracer) Snapshot() []SpanData {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.count == 0 {
+		return nil
+	}
 	out := make([]SpanData, 0, t.count)
 	start := t.head - t.count
 	if start < 0 {

@@ -5,9 +5,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 )
 
 // adminStatsz is the /statsz document: the same Stats snapshot the
@@ -27,7 +29,13 @@ type adminStatsz struct {
 //	/metrics       Prometheus text exposition of the metrics registry
 //	/statsz        JSON Stats snapshot — the same snapshot SIGUSR1 prints
 //	/tracez        JSON array of recent request spans, oldest first
+//	/eventsz       JSON array of recent wide events (Config.Events ring)
 //	/debug/pprof/  the standard Go profiling endpoints
+//
+// /tracez and /eventsz take ?name= (keep only spans/events with that
+// span name, e.g. "fetch" or "serve") and ?limit=N (keep only the most
+// recent N after filtering), so an operator can pull just the slice they
+// want from a busy proxyd.
 //
 // The handler holds no locks across requests and reads the same atomics
 // the dataplane writes, so scraping it is safe under full load.
@@ -62,7 +70,39 @@ func (s *Server) AdminHandler() http.Handler {
 	})
 
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
-		writeAdminJSON(w, s.tracer.Snapshot())
+		spans := s.tracer.Snapshot()
+		if spans == nil {
+			spans = []obs.SpanData{}
+		}
+		if name := r.URL.Query().Get("name"); name != "" {
+			kept := spans[:0]
+			for _, d := range spans {
+				if d.Name == name {
+					kept = append(kept, d)
+				}
+			}
+			spans = kept
+		}
+		spans = spans[len(spans)-adminLimit(r, len(spans)):]
+		writeAdminJSON(w, spans)
+	})
+
+	mux.HandleFunc("/eventsz", func(w http.ResponseWriter, r *http.Request) {
+		events := s.events.Recent()
+		if events == nil {
+			events = []export.Event{}
+		}
+		if name := r.URL.Query().Get("name"); name != "" {
+			kept := events[:0]
+			for _, e := range events {
+				if e.Span == name {
+					kept = append(kept, e)
+				}
+			}
+			events = kept
+		}
+		events = events[len(events)-adminLimit(r, len(events)):]
+		writeAdminJSON(w, events)
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -72,6 +112,21 @@ func (s *Server) AdminHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	return mux
+}
+
+// adminLimit resolves ?limit=N against a slice of n entries: the count to
+// keep from the tail (most recent). Absent, unparsable or out-of-range
+// values keep everything.
+func adminLimit(r *http.Request, n int) int {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return n
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 || v > n {
+		return n
+	}
+	return v
 }
 
 func writeAdminJSON(w http.ResponseWriter, v any) {

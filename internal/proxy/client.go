@@ -14,6 +14,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/energy"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/selective"
 	"repro/internal/sim"
 )
@@ -77,6 +78,18 @@ type Client struct {
 	// Logger receives structured per-attempt logs tagged with the fetch's
 	// request ID (the same ID the server logs). Nil discards.
 	Logger *slog.Logger
+	// Events, when set, receives one wide event per finished Fetch (both
+	// outcomes) carrying the transfer's bytes, phases, attempts and
+	// modeled per-class joules. Nil costs the fetch hot path nothing —
+	// not even an allocation.
+	Events *export.Sink
+	// DeviceClass tags emitted events with the handheld's device class
+	// (e.g. export.DeviceIPAQ11), the calibrator's grouping key. Empty is
+	// read downstream as the paper's primary 11 Mb/s configuration.
+	DeviceClass string
+	// LinkRateBps tags emitted events with the modeled link rate in bytes
+	// per second, purely informational.
+	LinkRateBps float64
 
 	// Clock supplies the time source for connection deadlines, retry
 	// backoff sleeps and span phase timestamps; nil selects the host
@@ -183,6 +196,25 @@ func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
 func permanent(err error) error { return &permanentError{err: err} }
+
+// ErrorClass folds a client-visible error into a stable class token
+// (busy/notfound/protocol/err, "" for nil) — the vocabulary canonical
+// traces and wide events use, so exported streams never carry raw error
+// strings that vary across Go versions.
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBusy):
+		return "busy"
+	case errors.Is(err, ErrNotFound):
+		return "notfound"
+	case errors.Is(err, ErrProtocol):
+		return "protocol"
+	default:
+		return "err"
+	}
+}
 
 // isTransient reports whether retrying can plausibly fix err. Anything not
 // explicitly marked permanent is considered link damage: on a lossy WLAN a
@@ -373,6 +405,7 @@ func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, Fet
 	span.SetAttr("scheme", scheme.String())
 	span.SetAttr("mode", mode.String())
 	log := c.logger().With("req_id", obs.ReqID(reqID), "name", name)
+	vStart := c.clock().Now()
 	for attempt := 0; ; attempt++ {
 		stats.Attempts++
 		out, reset, err := c.fetchOnce(name, scheme, mode, reqID, verified, &stats, span)
@@ -382,6 +415,7 @@ func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, Fet
 			cm.attempts.Observe(float64(stats.Attempts))
 			c.chargeSpan(span, stats)
 			span.Finish()
+			c.emitFetchEvent(reqID, name, scheme, mode, span, stats, c.clock().Now().Sub(vStart), nil)
 			return out, stats, nil
 		}
 		transient := isTransient(err)
@@ -401,6 +435,7 @@ func (c *Client) Fetch(name string, scheme codec.Scheme, mode Mode) ([]byte, Fet
 			cm.attempts.Observe(float64(stats.Attempts))
 			span.Fail(err)
 			span.Finish()
+			c.emitFetchEvent(reqID, name, scheme, mode, span, stats, c.clock().Now().Sub(vStart), err)
 			log.Warn("fetch failed", "attempts", stats.Attempts, "err", err)
 			return nil, stats, err
 		}
@@ -443,6 +478,57 @@ func (c *Client) chargeSpan(span *obs.Span, stats FetchStats) {
 	span.DistributeJoules(obs.ClassRadio, bd.RadioJ)
 	span.DistributeJoules(obs.ClassCPU, bd.CPUJ)
 	span.AccountPhase("idle", obs.ClassIdle, bd.IdleJ)
+}
+
+// emitFetchEvent publishes one wide event for a finished fetch (either
+// outcome) to the configured sink. The nil-sink guard comes first so the
+// default path costs one branch and zero allocations; everything the
+// event needs is only materialised past it. Joules are recomputed from
+// the byte counts with the same Eq. 1 / Eq. 3 rule chargeSpan applies,
+// so the event's per-class totals equal the model's answer exactly even
+// when no tracer (and thus no charged span) is configured.
+func (c *Client) emitFetchEvent(reqID uint64, name string, scheme codec.Scheme, mode Mode, span *obs.Span, stats FetchStats, dur time.Duration, err error) {
+	if c.Events == nil {
+		return
+	}
+	e := export.Event{
+		Time:             time.Now().UTC().Format(time.RFC3339Nano),
+		Span:             "fetch",
+		ReqID:            obs.ReqID(reqID),
+		Name:             name,
+		Scheme:           scheme.String(),
+		Mode:             mode.String(),
+		Device:           c.DeviceClass,
+		LinkBps:          c.LinkRateBps,
+		Outcome:          "ok",
+		RawBytes:         int64(stats.RawBytes),
+		WireBytes:        int64(stats.WireBytes),
+		Blocks:           stats.BlocksTotal,
+		BlocksCompressed: stats.BlocksCompressed,
+		Attempts:         stats.Attempts,
+		ResumedBytes:     int64(stats.ResumedBytes),
+		DurNS:            dur.Nanoseconds(),
+		Phases:           export.FoldPhases(span.Data().Phases),
+	}
+	if err != nil {
+		e.Outcome = ErrorClass(err)
+	} else {
+		p := c.EnergyParams
+		if p == nil {
+			def := energy.Params11Mbps()
+			p = &def
+		}
+		s := float64(stats.RawBytes) / 1e6
+		sc := float64(stats.WireBytes) / 1e6
+		var bd energy.Breakdown
+		if stats.BlocksCompressed > 0 {
+			bd = p.InterleavedBreakdown(s, sc)
+		} else {
+			bd = p.DownloadBreakdown(s)
+		}
+		e.RadioJ, e.CPUJ, e.IdleJ = bd.RadioJ, bd.CPUJ, bd.IdleJ
+	}
+	c.Events.Record(e)
 }
 
 // fetchOnce runs a single connection's worth of a fetch. verified is the

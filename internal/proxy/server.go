@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/selective"
 	"repro/internal/sim"
 )
@@ -65,6 +66,11 @@ type Config struct {
 	// Logger receives structured request/error logs tagged with the
 	// client-propagated request ID. Nil discards.
 	Logger *slog.Logger
+	// Events, when set, receives one wide event per finished serve span
+	// via a tee on the tracer's Finish path, and backs the admin plane's
+	// /eventsz endpoint. The sink never blocks the dataplane (full
+	// buffers drop and count); its lifecycle belongs to the caller.
+	Events *export.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +108,7 @@ type Server struct {
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	events *export.Sink
 	log    *slog.Logger
 	clock  sim.WallClock
 
@@ -181,12 +188,21 @@ func NewServerWith(decider selective.Decider, cfg Config) *Server {
 	if clock == nil {
 		clock = sim.SystemClock{}
 	}
+	if cfg.Events != nil {
+		// The wide-event tee: every span the tracer retains also flattens
+		// into one event on the sink, so /eventsz and an exported JSONL
+		// stream see exactly what /tracez sees.
+		cfg.Events.Bind(reg)
+		sink := cfg.Events
+		tracer.SetOnFinish(func(d obs.SpanData) { sink.Record(export.FromSpan(d)) })
+	}
 	s := &Server{
 		decider:   decider,
 		deciderFP: deciderFingerprint(decider),
 		cfg:       cfg,
 		reg:       reg,
 		tracer:    tracer,
+		events:    cfg.Events,
 		log:       logger,
 		clock:     clock,
 		metrics:   newMetrics(reg),
@@ -526,6 +542,7 @@ func (s *Server) handle(conn net.Conn) (err error) {
 	case opGet:
 		span.SetAttr("op", "get")
 		span.SetAttr("name", req.Name)
+		span.SetAttr("scheme", req.Scheme.String())
 		span.SetAttr("mode", req.Mode.String())
 		s.log.Debug("get", slog.String("name", req.Name), slog.String("mode", req.Mode.String()),
 			slog.Uint64("offset", req.Offset), obs.ReqIDAttr(req.ReqID))

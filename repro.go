@@ -29,12 +29,14 @@ import (
 	"log/slog"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/codec"
 	"repro/internal/device"
 	"repro/internal/energy"
 	"repro/internal/experiment"
 	"repro/internal/flate"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/pipeline"
 	"repro/internal/proxy"
 	"repro/internal/proxy/faultconn"
@@ -231,6 +233,41 @@ type TraceSpan = obs.SpanData
 
 // NewTracer returns a tracer retaining up to capacity finished spans.
 func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// TelemetryEvent is one wide event of the telemetry pipeline: the
+// flattened record of a finished fetch or serve span (request ID, scheme,
+// device class, bytes, attempts, per-phase durations, per-class joules).
+// Its JSON field set is a stable contract (README "Telemetry and
+// calibration").
+type TelemetryEvent = export.Event
+
+// Device classes tagging telemetry events, the calibrator's grouping key.
+const (
+	DeviceIPAQ11 = export.DeviceIPAQ11
+	DeviceIPAQ2  = export.DeviceIPAQ2
+)
+
+// EventSink delivers wide events to an io.Writer as JSONL without ever
+// blocking the dataplane (full buffers drop and count) and retains a
+// bounded ring of recent events for /eventsz. Install one on a
+// ProxyClient (Client.Events) or ProxyServer (ProxyConfig.Events).
+type EventSink = export.Sink
+
+// NewEventSink starts a sink draining to w (nil keeps only the ring);
+// buffer and ring sizes <= 0 select defaults. Close it to flush.
+func NewEventSink(w io.Writer, buffer, ring int) *EventSink {
+	return export.NewSink(w, buffer, ring)
+}
+
+// CalibrationFit is one device class's energy-model coefficients re-fitted
+// from a wide-event stream, scored against the paper's Table 1 parameters.
+type CalibrationFit = calib.Fit
+
+// CalibrateEvents re-derives td(s, sc) and E(s) per device class from an
+// event stream, the way the paper fit Figure 8a/8b from measured traces.
+func CalibrateEvents(events []TelemetryEvent) ([]CalibrationFit, error) {
+	return calib.Calibrate(events)
+}
 
 // NewStructuredLogger returns a structured text logger at the given level
 // ("debug", "info", "warn" or "error") for ProxyConfig.Logger or

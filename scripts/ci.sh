@@ -7,9 +7,11 @@
 # oracles (fixed seeds plus one printed random seed for replay), the
 # scenario-corpus gate (every declarative spec diffed against its golden
 # trace at two pinned seeds plus a wall-clock seed, then the 10k-client
-# load-generation fleet), a per-package coverage ratchet, and an
-# admin-plane smoke test over real HTTP. Every change to the proxy dataplane, wire path or telemetry layer
-# must keep this green.
+# load-generation fleet), the event-stream determinism + calibration gate
+# (canonical telemetry JSONL byte-identical to its committed golden, and
+# Table 1 re-fitted from it to within 1%), a per-package coverage
+# ratchet, and an admin-plane smoke test over real HTTP. Every change to
+# the proxy dataplane, wire path or telemetry layer must keep this green.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -68,6 +70,17 @@ RANDOM_SEED=$(date +%s)
 echo "soak random seed: $RANDOM_SEED (replay: go run ./cmd/energysim soak -seed $RANDOM_SEED -clients 4 -fetches 10 -trace)"
 $SOAK -seed "$RANDOM_SEED"
 
+# Event-stream determinism gate: the canonical wide-event JSONL of a
+# seeded soak must be byte-identical run to run AND match the committed
+# golden stream (the one EXPERIMENTS.md's calibration section quotes).
+# Then the calibrator must recover Table 1 from that stream to within 1%.
+EVGATE="go run ./cmd/energysim soak -clients 4 -fetches 10 -fault 0 -churn 0 -seed 1"
+$EVGATE -events /tmp/events-a.$$ >/dev/null && $EVGATE -events /tmp/events-b.$$ >/dev/null
+cmp /tmp/events-a.$$ /tmp/events-b.$$
+cmp /tmp/events-a.$$ testdata/events/soak-seed1.jsonl
+rm -f /tmp/events-a.$$ /tmp/events-b.$$
+go run ./cmd/energysim calib -events testdata/events/soak-seed1.jsonl | grep -q 'within 1%: yes'
+
 # Scenario-corpus gate: every committed declarative spec replays at the
 # two pinned golden seeds and must reproduce its committed canonical
 # trace byte-for-byte, then runs once at the wall-clock seed above so
@@ -110,18 +123,22 @@ check_cover() {
 check_cover ./internal/proxy 88
 check_cover ./internal/simnet 80
 check_cover ./internal/selective 89
-check_cover ./internal/harness 79
-check_cover ./internal/obs 84
+check_cover ./internal/harness 80
+check_cover ./internal/obs 86
+check_cover ./internal/obs/export 90
+check_cover ./internal/obs/agg 90
+check_cover ./internal/calib 84
 check_cover ./internal/energy 87
 check_cover ./internal/scenario 88
 check_cover ./internal/workload 93
 
 # Decompression-kernel gates, without -race (the race runtime changes
 # allocation counts): the pooled dataplane must stay O(1) buffers per
-# block, the table-driven Huffman fast path must stay zero-alloc per
-# symbol, and a 100x bench smoke proves every dataplane benchmark still
-# runs (scripts/bench.sh is the full trajectory harness).
-go test -run 'TestReadBlockPooledAllocs|TestGetBufRecycles' -count=1 ./internal/proxy
+# block, event export with no sink must cost the fetch path zero
+# allocations, the table-driven Huffman fast path must stay zero-alloc
+# per symbol, and a 100x bench smoke proves every dataplane benchmark
+# still runs (scripts/bench.sh is the full trajectory harness).
+go test -run 'TestReadBlockPooledAllocs|TestGetBufRecycles|TestEmitFetchEventNoSinkZeroAlloc' -count=1 ./internal/proxy
 go test -run 'TestDecodeLSBZeroAlloc' -count=1 ./internal/huffman
 go test -run 'TestDeflateSteadyStateAllocs|TestStreamingWriterSteadyAllocs' -count=1 ./internal/flate
 
@@ -157,6 +174,10 @@ if command -v curl >/dev/null 2>&1; then
 	curl -fsS "http://$ADMIN/metrics" | grep -q '^proxy_requests_total [1-9]'
 	curl -fsS "http://$ADMIN/statsz" | grep -q '"Requests"'
 	curl -fsS "http://$ADMIN/tracez" | grep -q '"req_id"'
+	curl -fsS "http://$ADMIN/tracez?name=serve&limit=1" | grep -q '"req_id"'
+	curl -fsS "http://$ADMIN/eventsz" | grep -q '"span": "serve"'
+	curl -fsS "http://$ADMIN/eventsz?name=serve&limit=1" | grep -q '"req_id"'
+	curl -fsS "http://$ADMIN/eventsz?name=nosuch" | grep -q '^\[\]$'
 	kill -TERM "$PROXYD_PID"
 	wait "$PROXYD_PID"
 else
