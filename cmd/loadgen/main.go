@@ -44,6 +44,9 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "fleet seed; same seed => byte-identical run")
 		clients  = flag.Int("clients", 0, "override the spec's client count")
 		fetches  = flag.Int("fetches", 0, "override the spec's fetches per client")
+		nodes    = flag.Int("nodes", 0, "override the spec's cluster node count (1 forces a single node)")
+		replicas = flag.Int("replicas", -1, "override the spec's hot-key replication factor")
+		hotK     = flag.Int("hotk", -1, "override the spec's hot-key admission budget")
 		metrics  = flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format")
 		events   = flag.String("events", "", "write the canonical wide-event stream as JSONL to this file")
 	)
@@ -60,6 +63,21 @@ func run() error {
 	}
 	if *fetches > 0 {
 		spec.Fetches = *fetches
+	}
+	if *nodes > 0 {
+		spec.Cluster.Nodes = *nodes
+		// A smaller ring can't hold the spec's replication factor; clamp it
+		// so `-nodes 1` (the single-node baseline of a scaling comparison)
+		// works against any cluster spec.
+		if spec.Cluster.Replicas > *nodes-1 {
+			spec.Cluster.Replicas = *nodes - 1
+		}
+	}
+	if *replicas >= 0 {
+		spec.Cluster.Replicas = *replicas
+	}
+	if *hotK >= 0 {
+		spec.Cluster.HotK = *hotK
 	}
 	if err := spec.Validate(); err != nil {
 		return err
@@ -147,6 +165,33 @@ func report(w *os.File, name string, seed int64, rep *harness.Report, wall time.
 			}
 		}
 		fmt.Fprintln(w)
+	}
+
+	// On a cluster run, break the aggregate down per ring node so skew
+	// (pinning imbalance, a hot owner) is visible at a glance.
+	if len(rep.PerNode) > 0 {
+		fmt.Fprintf(w, "cluster: %d nodes, %d peer fetches (%d failed), ring routing %d owner / %d remote\n",
+			len(rep.PerNode), rep.Stats.PeerFetches, rep.Stats.PeerFetchErrors,
+			rep.Stats.RingOwnerHits, rep.Stats.RingRemoteHits)
+		// Aggregate serve throughput over the client makespan (first fetch
+		// start to last fetch end) — Elapsed also counts the post-run timer
+		// drain, which would understate every configuration equally.
+		if ms := rep.ClientMakespan(); ms > 0 {
+			var raw, wire int64
+			for _, rec := range rep.Records {
+				if rec.Err == "" {
+					raw += int64(rec.Raw)
+					wire += int64(rec.Stats.WireBytes)
+				}
+			}
+			fmt.Fprintf(w, "cluster makespan: %s; aggregate %.3f raw MB/s (%.3f wire MB/s)\n",
+				ms, float64(raw)/1e6/ms.Seconds(), float64(wire)/1e6/ms.Seconds())
+		}
+		for i, st := range rep.PerNode {
+			fmt.Fprintf(w, "node n%d: %5d conns %6d hits %6d misses %4d compressions %4d peer fetches %9d B served\n",
+				i, st.ConnsTotal, st.CacheHits, st.CacheMisses, st.Compressions,
+				st.PeerFetches, st.BytesServedRaw+st.BytesServedCompressed)
+		}
 	}
 
 	keys := make([]string, 0, len(perScheme))

@@ -9,6 +9,15 @@
 //	proxyd -addr 127.0.0.1:7070 -corpus -cache-bytes 134217728 -workers 8
 //	proxyd -addr 127.0.0.1:7070 -corpus -fault-rate 0.01 -fault-seed 42
 //	proxyd -addr 127.0.0.1:7070 -corpus -admin 127.0.0.1:9090 -log-level info
+//	proxyd -addr 127.0.0.1:7070 -corpus -node-id a -peer-addr 127.0.0.1:7170 \
+//	    -peers b=127.0.0.1:7171,c=127.0.0.1:7172 -replicas 1 -hotk 64
+//
+// The last form joins a consistent-hash ring: this node plus every -peers
+// entry form the membership, cache misses for artifact keys owned by a
+// peer fetch the finished compressed artifact over the PXY-P protocol on
+// -peer-addr instead of recompressing, and hot keys replicate to -replicas
+// ring successors. Every node must be started with the same membership
+// (its own ID appearing in the others' -peers lists).
 //
 // SIGUSR1 prints a dataplane stats snapshot (cache hits/misses,
 // singleflight coalescing, bytes served, connection latency histogram);
@@ -26,7 +35,9 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
+	"time"
 
 	"repro"
 )
@@ -53,6 +64,11 @@ func run() error {
 		adminAddr  = flag.String("admin", "", "serve the admin plane (/metrics, /statsz, /tracez, /eventsz, /healthz, /debug/pprof) on this address")
 		logLevel   = flag.String("log-level", "warn", "structured log level: debug, info, warn, error")
 		eventsPath = flag.String("events", "", "write serve-side wide events as JSONL to this file")
+		nodeID     = flag.String("node-id", "", "this node's cluster ID (enables cluster mode)")
+		peerAddr   = flag.String("peer-addr", "", "listen address for the PXY-P peer protocol (required with -node-id)")
+		peersFlag  = flag.String("peers", "", "comma-separated id=host:port peer list forming the ring with this node")
+		replicas   = flag.Int("replicas", 0, "replicate hot artifacts to this many ring successors")
+		hotK       = flag.Int("hotk", 64, "hot-key admission budget: peer-fetched artifacts are cached only while in the top-K")
 	)
 	flag.Parse()
 
@@ -134,6 +150,48 @@ func run() error {
 		fmt.Printf("precompressed %d files with %v\n", count, scheme)
 	}
 
+	var node *repro.ClusterNode
+	if *nodeID != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		if *peerAddr == "" {
+			return fmt.Errorf("-node-id requires -peer-addr")
+		}
+		members := []string{*nodeID}
+		for id := range peers {
+			members = append(members, id)
+		}
+		node, err = repro.NewClusterNode(repro.ClusterConfig{
+			Self:     *nodeID,
+			Nodes:    members,
+			Replicas: *replicas,
+			HotK:     *hotK,
+			Server:   srv,
+			Events:   sink,
+			Dial: func(id string) (net.Conn, error) {
+				a, ok := peers[id]
+				if !ok {
+					return nil, fmt.Errorf("no address for peer %q", id)
+				}
+				return net.DialTimeout("tcp", a, 5*time.Second)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		pln, err := net.Listen("tcp", *peerAddr)
+		if err != nil {
+			return err
+		}
+		node.Serve(pln)
+		fmt.Printf("cluster node %s: ring %v, replicas %d, hotk %d, peer listener %s\n",
+			*nodeID, node.Ring().Nodes(), *replicas, *hotK, pln.Addr())
+	} else if *peersFlag != "" || *peerAddr != "" {
+		return fmt.Errorf("-peers/-peer-addr require -node-id")
+	}
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
@@ -161,6 +219,11 @@ func run() error {
 		break
 	}
 	fmt.Println("shutting down")
+	if node != nil {
+		if err := node.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "proxyd: cluster node:", err)
+		}
+	}
 	if err := srv.Close(); err != nil {
 		return err
 	}
@@ -174,6 +237,25 @@ func run() error {
 	}
 	fmt.Println(srv.Stats())
 	return nil
+}
+
+// parsePeers parses the -peers "id=host:port,id=host:port" list.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host:port)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer ID %q", id)
+		}
+		peers[id] = addr
+	}
+	return peers, nil
 }
 
 func parseScheme(name string) (repro.Scheme, error) {

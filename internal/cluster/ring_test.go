@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/proxy"
+)
+
+func seededKeys(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = KeyString(proxy.ArtifactKey{
+			Name:   fmt.Sprintf("file-%05d.bin", rng.Intn(1<<20)),
+			Gen:    uint64(1 + rng.Intn(3)),
+			Scheme: codec.Gzip,
+			FP:     "always",
+		})
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%c", 'a'+i)
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossOrderings: owners must not depend on the
+// membership slice's order — every node builds the ring independently
+// from its config, and they must all agree.
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n2", "n2"}, 0)
+	for _, k := range seededKeys(1, 2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner disagreement for %q: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance: with hashed vnodes, ownership across a seeded key set
+// stays within a reasonable factor of fair share.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		ring := NewRing(nodeNames(n), 0)
+		counts := map[string]int{}
+		keys := seededKeys(2, 20000)
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for node, c := range counts {
+			if ratio := float64(c) / fair; ratio < 0.5 || ratio > 1.7 {
+				t.Errorf("%d nodes: %s owns %d keys (%.2fx fair share)", n, node, c, ratio)
+			}
+		}
+	}
+}
+
+// TestRingRebalanceMovesOnlyFairShare: the consistent-hashing property.
+// Adding a node moves ~1/(N+1) of keys, all of them TO the new node;
+// removing one moves exactly the departed node's keys, none between
+// survivors.
+func TestRingRebalanceMovesOnlyFairShare(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		keys := seededKeys(seed, 10000)
+		for _, n := range []int{3, 5, 8} {
+			nodes := nodeNames(n)
+			before := NewRing(nodes, 0)
+			grown := NewRing(append(append([]string{}, nodes...), "node-new"), 0)
+
+			moved := 0
+			for _, k := range keys {
+				ob, og := before.Owner(k), grown.Owner(k)
+				if ob != og {
+					moved++
+					if og != "node-new" {
+						t.Fatalf("add: key moved between survivors (%s -> %s)", ob, og)
+					}
+				}
+			}
+			frac := float64(moved) / float64(len(keys))
+			want := 1.0 / float64(n+1)
+			if frac < want*0.5 || frac > want*1.7 {
+				t.Errorf("seed %d, %d nodes: add moved %.3f of keys, want ~%.3f", seed, n, frac, want)
+			}
+
+			shrunk := NewRing(nodes[1:], 0)
+			moved = 0
+			for _, k := range keys {
+				ob, os := before.Owner(k), shrunk.Owner(k)
+				if ob != os {
+					moved++
+					if ob != nodes[0] {
+						t.Fatalf("remove: key moved between survivors (%s -> %s)", ob, os)
+					}
+				}
+			}
+			frac = float64(moved) / float64(len(keys))
+			want = 1.0 / float64(n)
+			if frac < want*0.5 || frac > want*1.7 {
+				t.Errorf("seed %d, %d nodes: remove moved %.3f of keys, want ~%.3f", seed, n, frac, want)
+			}
+		}
+	}
+}
+
+// TestRingSuccessors: successors are distinct, exclude the owner, and a
+// k larger than the membership returns every other node.
+func TestRingSuccessors(t *testing.T) {
+	ring := NewRing(nodeNames(5), 0)
+	for _, k := range seededKeys(3, 500) {
+		owner := ring.Owner(k)
+		succ := ring.Successors(k, 2)
+		if len(succ) != 2 {
+			t.Fatalf("want 2 successors, got %v", succ)
+		}
+		seen := map[string]bool{owner: true}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("successor set %v not distinct from owner %s", succ, owner)
+			}
+			seen[s] = true
+		}
+		if all := ring.Successors(k, 99); len(all) != 4 {
+			t.Fatalf("want all 4 non-owners, got %v", all)
+		}
+	}
+	if got := ring.Successors("k", 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}
+
+// TestSketchHotAdmission: a key becomes hot only after repeated access
+// and only while it ranks in the top K; ties break deterministically.
+func TestSketchHotAdmission(t *testing.T) {
+	s := NewSketch(2)
+	if s.Hot("a") {
+		t.Fatal("unseen key hot")
+	}
+	s.Add("a")
+	if s.Hot("a") {
+		t.Fatal("single-access key hot")
+	}
+	s.Add("a")
+	if !s.Hot("a") {
+		t.Fatal("twice-accessed key in top-2 not hot")
+	}
+	// Flood two hotter keys: "a" (count 2) must fall out of the top 2.
+	for i := 0; i < 5; i++ {
+		s.Add("b")
+		s.Add("c")
+	}
+	if s.Hot("a") {
+		t.Fatal("displaced key still hot")
+	}
+	if !s.Hot("b") || !s.Hot("c") {
+		t.Fatal("dominant keys not hot")
+	}
+	// Zero-K sketch admits nothing.
+	z := NewSketch(0)
+	z.Add("x")
+	z.Add("x")
+	if z.Hot("x") {
+		t.Fatal("K=0 sketch admitted a key")
+	}
+}
+
+// TestSketchPruneBounded: an adversarial key flood keeps the candidate
+// table bounded and does not evict the dominant keys.
+func TestSketchPruneBounded(t *testing.T) {
+	s := NewSketch(4)
+	for i := 0; i < 10; i++ {
+		s.Add("hot-1")
+		s.Add("hot-2")
+	}
+	for i := 0; i < 1000; i++ {
+		s.Add(fmt.Sprintf("cold-%d", i))
+	}
+	if len(s.cand) > s.candLimit() {
+		t.Fatalf("candidate table grew to %d, limit %d", len(s.cand), s.candLimit())
+	}
+	if !s.Hot("hot-1") || !s.Hot("hot-2") {
+		t.Fatal("flood evicted the dominant keys")
+	}
+}

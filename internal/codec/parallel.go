@@ -10,6 +10,11 @@ import (
 // deflate-family codec to the chunked (pigz-style) container format.
 const ParallelThreshold = flate.ParallelThreshold
 
+// ParallelChunk is the fixed chunk size of that format. It is part of the
+// determinism contract — resizing chunks changes output bytes — so tuning
+// may only adjust worker fan-out, never chunk geometry.
+const ParallelChunk = flate.ParallelChunk
+
 // parallelCompressor is implemented by codecs whose output format supports
 // deterministic chunk-parallel compression.
 type parallelCompressor interface {
@@ -24,21 +29,40 @@ func (c zlibCodec) compressParallel(data []byte, workers int) ([]byte, error) {
 	return flate.ZlibCompressParallel(data, c.level, workers)
 }
 
+// AutoWorkers is the auto-tuned chunk-compression fan-out for an input of
+// size bytes: one worker per available core (GOMAXPROCS), capped at the
+// number of ParallelChunk-sized chunks the input actually shards into.
+// The cap matters on wide machines compressing mid-sized inputs — a
+// 512 KiB artifact splits into 4 chunks, and waking 32 workers for 4
+// tasks costs scheduling latency without buying any parallelism. Fan-out
+// only ever changes who does the work, never the bytes produced.
+func AutoWorkers(size int) int {
+	w := runtime.GOMAXPROCS(0)
+	if chunks := (size + ParallelChunk - 1) / ParallelChunk; w > chunks {
+		w = chunks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // CompressParallel compresses data with c, sharding deflate-family inputs of
 // at least ParallelThreshold into independent chunks compressed on up to
 // workers goroutines and stitched in order (workers <= 0 selects
-// GOMAXPROCS). The output is a pure function of the data and the codec:
-// every workers value yields byte-identical bytes, so cached artifacts,
-// golden traces and same-seed replays stay deterministic however many cores
-// did the work. Schemes without a chunkable format (compress, bzip2) and
-// small inputs fall through to c.Compress.
+// AutoWorkers: GOMAXPROCS capped at the input's chunk count). The output is
+// a pure function of the data and the codec: every workers value yields
+// byte-identical bytes, so cached artifacts, golden traces and same-seed
+// replays stay deterministic however many cores did the work. Schemes
+// without a chunkable format (compress, bzip2) and small inputs fall
+// through to c.Compress.
 func CompressParallel(c Codec, data []byte, workers int) ([]byte, error) {
 	pc, ok := c.(parallelCompressor)
 	if !ok || len(data) < ParallelThreshold {
 		return c.Compress(data)
 	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = AutoWorkers(len(data))
 	}
 	return pc.compressParallel(data, workers)
 }

@@ -6,11 +6,59 @@ package codec_test
 
 import (
 	"bytes"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/codec"
 	"repro/internal/workload"
 )
+
+// TestAutoWorkers: the auto-tuned fan-out is GOMAXPROCS capped at the
+// input's chunk count, never less than one, and never resizes chunks
+// (which would change output bytes).
+func TestAutoWorkers(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		size int
+		want int
+	}{
+		{0, 1},
+		{1, 1},
+		{codec.ParallelChunk, 1},
+		{codec.ParallelChunk + 1, min(2, maxprocs)},
+		{4 * codec.ParallelChunk, min(4, maxprocs)},
+		{1 << 30, maxprocs},
+	}
+	for _, tc := range cases {
+		if got := codec.AutoWorkers(tc.size); got != tc.want {
+			t.Errorf("AutoWorkers(%d) = %d, want %d (GOMAXPROCS=%d)", tc.size, got, tc.want, maxprocs)
+		}
+	}
+}
+
+// BenchmarkCompressParallelScaling measures the worker-scaling curve of the
+// chunked gzip path on a 4 MiB source-class input (32 chunks); its numbers
+// feed the EXPERIMENTS.md table. The workers=0 row is the AutoWorkers
+// setting the proxy's compression plane inherits.
+func BenchmarkCompressParallelScaling(b *testing.B) {
+	data := workload.Generate(workload.ClassSource, 4<<20, 17)
+	gz := codec.MustNew(codec.Gzip, 0)
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = fmt.Sprintf("workers=auto(%d)", codec.AutoWorkers(len(data)))
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.CompressParallel(gz, data, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func TestCompressParallelDeterministic(t *testing.T) {
 	data := workload.Generate(workload.ClassSource, 1<<20, 17)

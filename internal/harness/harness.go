@@ -79,6 +79,25 @@ type Scenario struct {
 	// It reshapes timing only: wire behavior (and so the canonical trace)
 	// stays pinned by the seed.
 	Schedule []simnet.Phase
+	// Nodes, when positive, runs the scenario against an N-node
+	// consistent-hash proxy cluster instead of the single server: each
+	// node fronts its own proxy with a shared transmit line at the client
+	// link rate, clients pin to node (client mod Nodes), and cache misses
+	// for keys owned elsewhere fetch the finished artifact from the owner
+	// over PXY-P instead of recompressing. Zero keeps the original
+	// single-server testbed (and its golden traces) untouched.
+	Nodes int
+	// Replicas is how many ring successors each hot key's artifact is
+	// pushed to (cluster runs only; default 0 = no replication).
+	Replicas int
+	// HotK sizes each node's top-K hot-key admission sketch (cluster runs
+	// only; default 0 = no admission or replication).
+	HotK int
+	// PeerLink models the inter-node backhaul (cluster runs only); the
+	// zero value selects a 100 Mb/s wired link with 200 µs latency and no
+	// jitter — fast enough that peer fetches beat recompression, slow
+	// enough that they are not free.
+	PeerLink simnet.Link
 }
 
 // CorpusEntry is one generated workload file of a custom scenario corpus.
@@ -114,6 +133,9 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Timeout <= 0 {
 		s.Timeout = 2 * time.Minute
+	}
+	if s.Nodes > 0 && s.PeerLink == (simnet.Link{}) {
+		s.PeerLink = simnet.Link{BytesPerSec: 12_500_000, Latency: 200 * time.Microsecond}
 	}
 	return s
 }
@@ -229,7 +251,13 @@ type FetchRecord struct {
 type Report struct {
 	Scenario Scenario
 	Records  []FetchRecord
-	Stats    proxy.Stats
+	// Stats is the server counter snapshot; on a cluster run it is the
+	// per-field sum over PerNode, so every single-server identity that
+	// distributes over addition keeps holding.
+	Stats proxy.Stats
+	// PerNode holds each cluster node's own counter snapshot, indexed by
+	// node ordinal (nil on single-server runs).
+	PerNode []proxy.Stats
 	// Spans holds each client's fetch spans, oldest first; span k of
 	// client i is fetch k (the tracer ring is sized to hold them all).
 	Spans [][]obs.SpanData
@@ -242,6 +270,27 @@ type Report struct {
 // OK reports whether every oracle passed.
 func (r *Report) OK() bool { return len(r.Violations) == 0 }
 
+// ClientMakespan is the virtual time between the first fetch starting and
+// the last fetch finishing — the denominator for aggregate-throughput
+// comparisons. Unlike Elapsed it excludes the post-run tail where parked
+// server read deadlines drain off the virtual clock.
+func (r *Report) ClientMakespan() time.Duration {
+	var lo, hi time.Duration
+	lo = 1 << 62
+	for _, rec := range r.Records {
+		if rec.VStart < lo {
+			lo = rec.VStart
+		}
+		if end := rec.VStart + rec.Virtual; end > hi {
+			hi = end
+		}
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
 // Trace renders the canonical scenario trace: one header line, then one
 // line per fetch in client-major order. Two runs of the same scenario
 // must produce byte-identical traces; anything scheduling-dependent
@@ -253,10 +302,17 @@ func (r *Report) Trace() string {
 	if name == "" {
 		name = "default"
 	}
-	fmt.Fprintf(&b, "soak name=%s seed=%d clients=%d fetches=%d fault=%.4f link=%.0fBps lat=%s jitter=%.2f churn=%d corpus=%08x sched=%d\n",
+	fmt.Fprintf(&b, "soak name=%s seed=%d clients=%d fetches=%d fault=%.4f link=%.0fBps lat=%s jitter=%.2f churn=%d corpus=%08x sched=%d",
 		name, s.Seed, s.Clients, s.FetchesPerClient, s.FaultRate,
 		s.Link.BytesPerSec, s.Link.Latency, s.Link.JitterFrac, s.Churn,
 		corpusDigest(s.Corpus), len(s.Schedule))
+	if s.Nodes > 0 {
+		// The cluster suffix appears only on cluster traces, so every
+		// pre-cluster golden stays byte-identical.
+		fmt.Fprintf(&b, " nodes=%d replicas=%d hotk=%d peerlink=%.0fBps",
+			s.Nodes, s.Replicas, s.HotK, s.PeerLink.BytesPerSec)
+	}
+	b.WriteByte('\n')
 	for _, rec := range r.Records {
 		status := rec.Err
 		if status == "" {
@@ -293,6 +349,9 @@ var modes = []proxy.Mode{proxy.ModeRaw, proxy.ModePrecompressed, proxy.ModeOnDem
 // Report.Violations so a caller can print them alongside the trace.
 func Run(s Scenario) (*Report, error) {
 	s = s.withDefaults()
+	if s.Nodes > 0 {
+		return runCluster(s)
+	}
 	goroutinesBefore := runtime.NumGoroutine()
 
 	corpus := buildCorpus(s)

@@ -96,6 +96,13 @@ type Event struct {
 	RadioJ float64 `json:"radio_j"`
 	CPUJ   float64 `json:"cpu_j"`
 	IdleJ  float64 `json:"idle_j"`
+
+	// Node and Peer identify cluster traffic: the node that emitted the
+	// event and, for "peer-fetch" spans, the ring owner it fetched from.
+	// Appended fields per the schema contract; both empty outside cluster
+	// mode, so pre-cluster streams are unchanged.
+	Node string `json:"node,omitempty"`
+	Peer string `json:"peer,omitempty"`
 }
 
 // TotalJoules is the whole-transfer modeled energy.

@@ -68,13 +68,21 @@ func (sh *cacheShard) pushFront(e *cacheEntry) {
 type blockCache struct {
 	shards  []cacheShard
 	metrics *metrics
+
+	// floors maps a file name to the minimum generation put accepts for
+	// it. One name's generations land on different shards (shardFor mixes
+	// the generation into the hash), so the floor must be global: without
+	// it, a singleflight fill racing a generation bump can re-insert a
+	// stale-generation artifact after the bump's invalidation scan ran.
+	floorMu sync.RWMutex
+	floors  map[string]uint64
 }
 
 func newBlockCache(totalBytes int64, nShards int, m *metrics) *blockCache {
 	if nShards < 1 {
 		nShards = 1
 	}
-	c := &blockCache{shards: make([]cacheShard, nShards), metrics: m}
+	c := &blockCache{shards: make([]cacheShard, nShards), metrics: m, floors: make(map[string]uint64)}
 	per := totalBytes / int64(nShards)
 	if per < 1 {
 		per = 1
@@ -121,6 +129,15 @@ func (c *blockCache) get(k cacheKey) ([]selective.Block, bool) {
 // entries until the shard fits its budget. Artifacts larger than the whole
 // shard budget are rejected rather than churning the shard empty.
 func (c *blockCache) put(k cacheKey, blocks []selective.Block) {
+	c.floorMu.RLock()
+	floor := c.floors[k.name]
+	c.floorMu.RUnlock()
+	if k.gen < floor {
+		// A fill for an invalidated generation finished after the bump:
+		// caching it would resurrect stale content for the cache's
+		// lifetime, because no future invalidation scan targets it.
+		return
+	}
 	size := entrySize(k, blocks)
 	sh := c.shardFor(k)
 	sh.mu.Lock()
@@ -152,14 +169,38 @@ func (c *blockCache) put(k cacheKey, blocks []selective.Block) {
 }
 
 // dropName removes every entry for the named file, in any generation,
-// scheme or policy; Register calls it so replaced content frees its bytes
-// immediately instead of aging out.
+// scheme or policy.
 func (c *blockCache) dropName(name string) {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		for k, e := range sh.entries {
 			if k.name == name {
+				sh.unlink(e)
+				delete(sh.entries, k)
+				sh.curBytes -= e.bytes
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// invalidate raises name's generation floor to minGen and drops every
+// entry below it. Register (and cluster-propagated generation bumps) call
+// this instead of a bare dropName: the floor closes the race where a
+// singleflight fill for the old generation completes after the scan and
+// would otherwise re-insert the stale artifact.
+func (c *blockCache) invalidate(name string, minGen uint64) {
+	c.floorMu.Lock()
+	if c.floors[name] < minGen {
+		c.floors[name] = minGen
+	}
+	c.floorMu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			if k.name == name && k.gen < minGen {
 				sh.unlink(e)
 				delete(sh.entries, k)
 				sh.curBytes -= e.bytes

@@ -240,3 +240,82 @@ func TestCacheEvictionDuringSingleflight(t *testing.T) {
 		t.Error("expected evictions during churn")
 	}
 }
+
+// TestCacheInvalidateFloorRejectsStaleFill: after a generation-bump
+// invalidation, a put for the invalidated generation (a singleflight fill
+// that was already past the invalidation scan) must be rejected by the
+// generation floor — one name's generations land on different shards, so
+// only a global floor can close this race.
+func TestCacheInvalidateFloorRejectsStaleFill(t *testing.T) {
+	c := newBlockCache(1<<20, 8, nil)
+	k1 := key1("f")
+	k2 := k1
+	k2.gen = 2
+
+	c.put(k1, blocksOfSize(100))
+	c.invalidate("f", 2)
+	if _, ok := c.get(k1); ok {
+		t.Fatal("invalidate left the stale-generation entry cached")
+	}
+	// The racing fill completes after the scan: must stay out.
+	c.put(k1, blocksOfSize(100))
+	if _, ok := c.get(k1); ok {
+		t.Fatal("stale-generation fill re-inserted after invalidate")
+	}
+	// The new generation is admitted normally.
+	c.put(k2, blocksOfSize(100))
+	if _, ok := c.get(k2); !ok {
+		t.Fatal("current-generation artifact rejected")
+	}
+	// A late, lower invalidation must not lower the floor.
+	c.invalidate("f", 1)
+	c.put(k1, blocksOfSize(100))
+	if _, ok := c.get(k1); ok {
+		t.Fatal("floor lowered by a stale invalidation")
+	}
+	if _, ok := c.get(k2); !ok {
+		t.Fatal("stale invalidation dropped the current generation")
+	}
+}
+
+// TestGenerationBumpDuringSingleflightFill: a Register (generation bump +
+// invalidation) landing while a singleflight fill for the old generation
+// is mid-compression must not let that fill resurrect the stale artifact
+// when it completes. The onCompress hook fires inside the flight, after
+// the leader won it but before its put — exactly the window the bare
+// dropName scan used to leave open.
+func TestGenerationBumpDuringSingleflightFill(t *testing.T) {
+	srv := NewServerWith(nil, Config{CacheBytes: 1 << 20})
+	oldContent := make([]byte, 4096)
+	newContent := make([]byte, 4096)
+	for i := range newContent {
+		newContent[i] = byte(i)
+	}
+	srv.Register("f", oldContent) // generation 1
+
+	bumped := false
+	srv.onCompress = func(k cacheKey) {
+		if !bumped && k.gen == 1 {
+			bumped = true
+			srv.Register("f", newContent) // generation 2: invalidates below it
+		}
+	}
+	stale := cacheKey{name: "f", gen: 1, scheme: codec.Gzip, fp: fpAlways}
+	if _, err := srv.getOrCompress(stale, oldContent, codec.Gzip, selective.AlwaysCompress{}, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bumped {
+		t.Fatal("test hook never fired: fill did not run a compression")
+	}
+	if _, ok := srv.cache.get(stale); ok {
+		t.Fatal("stale-generation artifact cached after a concurrent generation bump")
+	}
+	// The current generation builds and caches cleanly.
+	if err := srv.Precompress("f", codec.Gzip); err != nil {
+		t.Fatal(err)
+	}
+	fresh := cacheKey{name: "f", gen: 2, scheme: codec.Gzip, fp: fpAlways}
+	if _, ok := srv.cache.get(fresh); !ok {
+		t.Fatal("current-generation artifact not cached")
+	}
+}

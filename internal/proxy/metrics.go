@@ -57,6 +57,14 @@ type metrics struct {
 	bytesRaw        *obs.Counter
 	bytesCompressed *obs.Counter
 
+	// Cluster-plane counters: peer artifact fetches the miss path ran
+	// instead of compressing locally, and how the ring routed cacheable
+	// requests (owner = this node owns the key, remote = a peer does).
+	peerFetches     *obs.Counter
+	peerFetchErrors *obs.Counter
+	ringOwnerHits   *obs.Counter
+	ringRemoteHits  *obs.Counter
+
 	connsTotal    *obs.Counter
 	connsActive   *obs.Gauge
 	connsRejected *obs.Counter
@@ -92,6 +100,11 @@ func newMetrics(reg *obs.Registry) *metrics {
 
 		bytesRaw:        reg.Counter("proxy_bytes_served_raw_total", "Raw block payload bytes written to the wire."),
 		bytesCompressed: reg.Counter("proxy_bytes_served_compressed_total", "Compressed block payload bytes written to the wire."),
+
+		peerFetches:     reg.Counter("proxy_peer_fetches_total", "Cache misses satisfied by fetching the artifact from its ring owner."),
+		peerFetchErrors: reg.Counter("proxy_peer_fetch_errors_total", "Peer artifact fetches that failed and fell back to local compression."),
+		ringOwnerHits:   reg.Counter("proxy_ring_owner_hits_total", "Cache-missing cacheable requests whose key this node owns."),
+		ringRemoteHits:  reg.Counter("proxy_ring_remote_hits_total", "Cache-missing cacheable requests whose key a peer owns."),
 
 		connsTotal:    reg.Counter("proxy_conns_total", "Connections accepted and served."),
 		connsActive:   reg.Gauge("proxy_conns_active", "Connections currently being served."),
@@ -174,6 +187,15 @@ type Stats struct {
 	BytesServedRaw        int64
 	BytesServedCompressed int64
 
+	// Cluster counters: misses satisfied by fetching the compressed
+	// artifact from its ring owner (vs recompressing locally), fetches
+	// that failed and degraded to local compression, and how the ring
+	// routed this node's cache-missing cacheable requests.
+	PeerFetches     int64
+	PeerFetchErrors int64
+	RingOwnerHits   int64
+	RingRemoteHits  int64
+
 	// Connection counters. ConnsRejected counts connections turned away
 	// with statusBusy at the MaxConns cap.
 	ConnsTotal    int64
@@ -202,6 +224,10 @@ func (m *metrics) snapshot() Stats {
 		CacheRejects:          m.cacheRejects.Value(),
 		BytesServedRaw:        m.bytesRaw.Value(),
 		BytesServedCompressed: m.bytesCompressed.Value(),
+		PeerFetches:           m.peerFetches.Value(),
+		PeerFetchErrors:       m.peerFetchErrors.Value(),
+		RingOwnerHits:         m.ringOwnerHits.Value(),
+		RingRemoteHits:        m.ringRemoteHits.Value(),
 		ConnsTotal:            m.connsTotal.Value(),
 		ConnsActive:           m.connsActive.Value(),
 		ConnsRejected:         m.connsRejected.Value(),
@@ -234,6 +260,10 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "served: %d bytes raw, %d bytes compressed\n", s.BytesServedRaw, s.BytesServedCompressed)
 	fmt.Fprintf(&b, "conns: %d total, %d active, %d rejected, %d errors\n",
 		s.ConnsTotal, s.ConnsActive, s.ConnsRejected, s.Errors)
+	if s.PeerFetches != 0 || s.PeerFetchErrors != 0 || s.RingOwnerHits != 0 || s.RingRemoteHits != 0 {
+		fmt.Fprintf(&b, "cluster: %d peer fetches, %d fetch errors, %d owner hits, %d remote hits\n",
+			s.PeerFetches, s.PeerFetchErrors, s.RingOwnerHits, s.RingRemoteHits)
+	}
 	b.WriteString("compress input:")
 	for _, sc := range compressSchemes {
 		fmt.Fprintf(&b, " %s=%d", sc, s.CompressInputBytes[sc.String()])

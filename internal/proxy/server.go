@@ -54,6 +54,13 @@ type Config struct {
 	// keeps the server's deadlines on the same timeline as the virtual
 	// link it is serving over.
 	Clock sim.WallClock
+	// FlightWait, when set, is how a singleflight follower waits for its
+	// leader's done channel. The default receives directly, which is
+	// right on a real clock; the virtual-time cluster harness substitutes
+	// a poll in virtual time, because a follower blocking in real time
+	// holds a clock ledger token the leader needs released while it parks
+	// on peer-fetch I/O.
+	FlightWait func(done <-chan struct{})
 
 	// Metrics is the registry the server's instruments live on; sharing
 	// one registry between a server and its admin endpoint (or several
@@ -134,8 +141,13 @@ type Server struct {
 	closeOnce sync.Once
 
 	// onCompress, when set before Listen, observes each artifact build
-	// (test hook for the singleflight guarantees).
+	// (test hook for the singleflight guarantees; the cluster layer hooks
+	// it via SetOnCompress for hot-key replication and oracles).
 	onCompress func(cacheKey)
+	// peerFetch, when set (SetPeerFetch), lets a flight leader satisfy a
+	// cache miss by fetching the compressed artifact from the key's ring
+	// owner instead of compressing locally.
+	peerFetch PeerFetchFunc
 }
 
 // Fingerprints for the fixed policies of the non-selective modes.
@@ -216,6 +228,7 @@ func NewServerWith(decider selective.Decider, cfg Config) *Server {
 	if cfg.CacheBytes > 0 {
 		s.cache = newBlockCache(cfg.CacheBytes, cfg.Shards, s.metrics)
 	}
+	s.flights.wait = cfg.FlightWait
 	return s
 }
 
@@ -225,9 +238,14 @@ func (s *Server) Register(name string, content []byte) {
 	s.mu.Lock()
 	s.files[name] = append([]byte{}, content...)
 	s.gens[name]++
+	gen := s.gens[name]
 	s.mu.Unlock()
 	if s.cache != nil {
-		s.cache.dropName(name)
+		// Invalidate below the new generation rather than bare-dropping:
+		// the generation floor also blocks a concurrent singleflight fill
+		// for the old generation from re-inserting its artifact after the
+		// scan (see blockCache.invalidate).
+		s.cache.invalidate(name, gen)
 	}
 }
 
@@ -285,7 +303,7 @@ func (s *Server) Precompress(name string, scheme codec.Scheme) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	key := cacheKey{name: name, gen: gen, scheme: scheme, fp: fpAlways}
-	_, err := s.getOrCompress(key, content, scheme, selective.AlwaysCompress{}, nil)
+	_, err := s.getOrCompress(key, content, scheme, selective.AlwaysCompress{}, nil, false)
 	return err
 }
 
@@ -327,7 +345,11 @@ func (s *Server) spawnCompress(task func()) bool {
 // compression slot while identical concurrent requests wait for the
 // result. The span, when present, gains a cache-hit / cache-miss phase
 // and, for flights this request led, a compress-on-demand phase.
-func (s *Server) getOrCompress(key cacheKey, content []byte, scheme codec.Scheme, d selective.Decider, span *obs.Span) ([]selective.Block, error) {
+// allowPeer enables the cluster peer-fetch consult: a flight leader on a
+// non-owner node asks the key's ring owner for the finished artifact
+// before burning local compression CPU, and degrades to compressing
+// locally on any peer failure — never surfacing an error to the client.
+func (s *Server) getOrCompress(key cacheKey, content []byte, scheme codec.Scheme, d selective.Decider, span *obs.Span, allowPeer bool) ([]selective.Block, error) {
 	lookupStart := time.Now()
 	if s.cache != nil {
 		if blocks, ok := s.cache.get(key); ok {
@@ -339,12 +361,32 @@ func (s *Server) getOrCompress(key cacheKey, content []byte, scheme codec.Scheme
 		span.Phase("cache-miss", "", lookupStart, time.Since(lookupStart), 0)
 	}
 	ranCompression := false
+	peerFetched := false
 	blocks, err, _ := s.flights.do(key, func() ([]selective.Block, error) {
 		// Double-check under the flight: a previous leader may have
 		// populated the cache between our miss and winning the flight.
 		if s.cache != nil {
 			if b, ok := s.cache.get(key); ok {
 				return b, nil
+			}
+		}
+		if allowPeer && s.peerFetch != nil {
+			fetchStart := time.Now()
+			pb, perr := s.peerFetch(ArtifactKey{Name: key.name, Gen: key.gen, Scheme: key.scheme, FP: key.fp})
+			switch {
+			case perr == nil:
+				peerFetched = true
+				s.metrics.peerFetches.Add(1)
+				s.metrics.ringRemoteHits.Add(1)
+				span.PhaseDetail("peer-fetch", "", "fetched the artifact from its ring owner", fetchStart, time.Since(fetchStart), int64(len(content)))
+				return pb, nil
+			case errors.Is(perr, ErrOwnedLocally):
+				s.metrics.ringOwnerHits.Add(1)
+			default:
+				// Owner unreachable, departed, or at a different
+				// generation: degrade to local compression.
+				s.metrics.ringRemoteHits.Add(1)
+				s.metrics.peerFetchErrors.Add(1)
 			}
 		}
 		// Backpressure: block for a worker slot rather than compressing
@@ -371,7 +413,7 @@ func (s *Server) getOrCompress(key cacheKey, content []byte, scheme codec.Scheme
 		}
 		return b, nil
 	})
-	if err == nil && !ranCompression {
+	if err == nil && !ranCompression && !peerFetched {
 		// Either another request's flight produced the result or the
 		// double-check hit: this request's compression was coalesced away.
 		s.metrics.coalesced.Add(1)
@@ -648,5 +690,5 @@ func (s *Server) blocksFor(req request, content []byte, gen uint64, span *obs.Sp
 		return nil, fmt.Errorf("%w: mode %d", ErrProtocol, int(req.Mode))
 	}
 	key := cacheKey{name: req.Name, gen: gen, scheme: req.Scheme, fp: fp}
-	return s.getOrCompress(key, content, req.Scheme, d, span)
+	return s.getOrCompress(key, content, req.Scheme, d, span, true)
 }

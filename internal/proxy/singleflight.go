@@ -19,6 +19,9 @@ type flightCall struct {
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[cacheKey]*flightCall
+	// wait, when set, is how a follower blocks on its leader's done
+	// channel (Config.FlightWait); nil receives directly.
+	wait func(done <-chan struct{})
 }
 
 // do runs fn for key unless an identical call is already in flight, in
@@ -33,7 +36,11 @@ func (g *flightGroup) do(key cacheKey, fn func() ([]selective.Block, error)) (bl
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		<-c.done
+		if g.wait != nil {
+			g.wait(c.done)
+		} else {
+			<-c.done
+		}
 		return c.blocks, c.err, true
 	}
 	c := &flightCall{done: make(chan struct{})}

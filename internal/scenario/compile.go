@@ -30,6 +30,14 @@ func (s *Spec) Compile(seed int64) harness.Scenario {
 	if s.Link != (Link{}) {
 		sc.Link = simnet.Link{BytesPerSec: s.Link.Rate, Latency: s.Link.Latency, JitterFrac: s.Link.Jitter}
 	}
+	if s.Cluster.Nodes > 0 {
+		sc.Nodes = s.Cluster.Nodes
+		sc.Replicas = s.Cluster.Replicas
+		sc.HotK = s.Cluster.HotK
+		if s.PeerLink != (Link{}) {
+			sc.PeerLink = simnet.Link{BytesPerSec: s.PeerLink.Rate, Latency: s.PeerLink.Latency, JitterFrac: s.PeerLink.Jitter}
+		}
+	}
 	for _, fs := range s.Files {
 		sc.Corpus = append(sc.Corpus, harness.CorpusEntry{
 			Name: fs.Name, Class: fs.Class, Ratio: fs.Ratio, Size: fs.Size,

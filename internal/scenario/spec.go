@@ -53,11 +53,27 @@ type Spec struct {
 	// compile into the simnet link schedule.
 	LinkAt    []RateChange
 	PowerSave []Window
+	// Cluster, when Nodes > 0, runs the scenario against an N-node
+	// consistent-hash proxy ring instead of the single server; the zero
+	// value keeps the single-server testbed.
+	Cluster ClusterSpec
+	// PeerLink shapes the inter-node backhaul of a cluster scenario; the
+	// zero value selects the harness's 100 Mb/s wired default.
+	PeerLink Link
 	// Files is the workload corpus; empty keeps the harness's built-in
 	// nine-file mix.
 	Files []FileSpec
 	// Expect are the outcome bounds checked after the run.
 	Expect Expect
+}
+
+// ClusterSpec is the ring shape of a cluster scenario: node count, how
+// many ring successors each hot key replicates to, and the size of each
+// node's top-K hot-key admission sketch.
+type ClusterSpec struct {
+	Nodes    int
+	Replicas int
+	HotK     int
 }
 
 // Link is the base medium shape: bytes/sec, one-way hop latency, and
@@ -165,6 +181,18 @@ func Parse(data []byte) (*Spec, error) {
 				"latency": func(v string) (e error) { s.Link.Latency, e = pDur(v); return },
 				"jitter":  func(v string) (e error) { s.Link.Jitter, e = pFloat(v); return },
 			})
+		case "cluster":
+			err = parsePairs(f[1:], map[string]func(string) error{
+				"nodes":    func(v string) (e error) { s.Cluster.Nodes, e = pInt(v); return },
+				"replicas": func(v string) (e error) { s.Cluster.Replicas, e = pInt(v); return },
+				"hotk":     func(v string) (e error) { s.Cluster.HotK, e = pInt(v); return },
+			})
+		case "peerlink":
+			err = parsePairs(f[1:], map[string]func(string) error{
+				"rate":    func(v string) (e error) { s.PeerLink.Rate, e = pFloat(v); return },
+				"latency": func(v string) (e error) { s.PeerLink.Latency, e = pDur(v); return },
+				"jitter":  func(v string) (e error) { s.PeerLink.Jitter, e = pFloat(v); return },
+			})
 		case "linkat":
 			err = wantArgs(f, 3, func() error {
 				if f[2] != "rate" {
@@ -267,6 +295,12 @@ func Format(s *Spec) []byte {
 	if s.Link != (Link{}) {
 		fmt.Fprintf(&b, "link rate %s latency %s jitter %s\n", ff(s.Link.Rate), s.Link.Latency, ff(s.Link.Jitter))
 	}
+	if s.Cluster != (ClusterSpec{}) {
+		fmt.Fprintf(&b, "cluster nodes %d replicas %d hotk %d\n", s.Cluster.Nodes, s.Cluster.Replicas, s.Cluster.HotK)
+	}
+	if s.PeerLink != (Link{}) {
+		fmt.Fprintf(&b, "peerlink rate %s latency %s jitter %s\n", ff(s.PeerLink.Rate), s.PeerLink.Latency, ff(s.PeerLink.Jitter))
+	}
 	for _, rc := range s.LinkAt {
 		fmt.Fprintf(&b, "linkat %s rate %s\n", rc.At, ff(rc.Rate))
 	}
@@ -323,6 +357,7 @@ const (
 	maxRate        = 1e9
 	maxSchedEvents = 32
 	maxHorizon     = 24 * time.Hour
+	maxNodes       = 16
 )
 
 // Validate checks ranges, budgets and cross-field rules. A valid spec
@@ -370,6 +405,34 @@ func (s *Spec) Validate() error {
 		}
 		if s.Link.Jitter < 0 || s.Link.Jitter > 1 {
 			return fmt.Errorf("link jitter %g outside [0, 1]", s.Link.Jitter)
+		}
+	}
+	if s.Cluster.Nodes < 0 || s.Cluster.Nodes > maxNodes {
+		return fmt.Errorf("cluster nodes %d outside [0, %d]", s.Cluster.Nodes, maxNodes)
+	}
+	if s.Cluster.Nodes == 0 && s.Cluster != (ClusterSpec{}) {
+		return fmt.Errorf("cluster replicas/hotk need nodes > 0")
+	}
+	if s.Cluster.Nodes > 0 {
+		if s.Cluster.Replicas < 0 || s.Cluster.Replicas >= s.Cluster.Nodes {
+			return fmt.Errorf("cluster replicas %d outside [0, nodes-1=%d]", s.Cluster.Replicas, s.Cluster.Nodes-1)
+		}
+		if s.Cluster.HotK < 0 || s.Cluster.HotK > 4096 {
+			return fmt.Errorf("cluster hotk %d outside [0, 4096]", s.Cluster.HotK)
+		}
+	}
+	if s.PeerLink != (Link{}) {
+		if s.Cluster.Nodes == 0 {
+			return fmt.Errorf("peerlink needs cluster nodes > 0")
+		}
+		if s.PeerLink.Rate < minRate || s.PeerLink.Rate > maxRate {
+			return fmt.Errorf("peerlink rate %g outside [%g, %g]", s.PeerLink.Rate, minRate, maxRate)
+		}
+		if s.PeerLink.Latency < 0 || s.PeerLink.Latency > 10*time.Second {
+			return fmt.Errorf("peerlink latency %s outside [0, 10s]", s.PeerLink.Latency)
+		}
+		if s.PeerLink.Jitter < 0 || s.PeerLink.Jitter > 1 {
+			return fmt.Errorf("peerlink jitter %g outside [0, 1]", s.PeerLink.Jitter)
 		}
 	}
 	if len(s.LinkAt)+len(s.PowerSave) > maxSchedEvents {

@@ -35,6 +35,11 @@ type endpoint struct {
 	rng           *rand.Rand
 	local, remote simAddr
 
+	// line, when non-nil, is the node-wide transmitter this endpoint's
+	// writes serialize on (a server-side endpoint accepted from a
+	// listener with an attached line). nil keeps per-endpoint pacing.
+	line *line
+
 	// nextFree is when this endpoint's outgoing link finishes its current
 	// transmission; writes queue behind it (serialization, not loss).
 	nextFree time.Duration
@@ -137,16 +142,28 @@ func (e *endpoint) Write(b []byte) (int, error) {
 	}
 	now := c.kern.Now()
 	start := now
-	if e.nextFree > start {
-		start = e.nextFree
-	}
 	var done time.Duration
-	if e.nw != nil && e.nw.sched != nil {
-		done = e.nw.sched.txDone(start, len(b), e.link, e.rng)
+	if e.line != nil {
+		// Shared node transmitter: queue behind every other connection on
+		// this node, at the line's rate. Jitter still comes from this
+		// endpoint's own stream so per-connection draws stay deterministic.
+		if e.line.nextFree > start {
+			start = e.line.nextFree
+		}
+		done = start + e.line.link.txTime(len(b), e.rng)
+		e.line.nextFree = done
+		e.nextFree = done
 	} else {
-		done = start + e.link.txTime(len(b), e.rng)
+		if e.nextFree > start {
+			start = e.nextFree
+		}
+		if e.nw != nil && e.nw.sched != nil {
+			done = e.nw.sched.txDone(start, len(b), e.link, e.rng)
+		} else {
+			done = start + e.link.txTime(len(b), e.rng)
+		}
+		e.nextFree = done
 	}
-	e.nextFree = done
 	arrival := done + e.link.Latency
 	if arrival > e.lastArrival {
 		e.lastArrival = arrival

@@ -1,0 +1,36 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// line models a node's single physical transmitter (its NIC or radio):
+// every server-side endpoint accepted from one listener shares the same
+// transmit serialization point, so N concurrent responses from one node
+// queue behind each other instead of each enjoying the full link rate.
+// Without a line, pacing is per-connection (each direction of each conn
+// owns a private nextFree), which models independent client radios well
+// but lets a single server scale its aggregate output without bound.
+// All fields are guarded by the clock's lock.
+type line struct {
+	link     Link
+	nextFree time.Duration
+}
+
+// SetLine attaches a shared transmit line with capacity link to the named
+// listener: from then on, connections accepted there serialize their
+// server-to-client writes on that line. Jitter for each transmission is
+// still drawn from the writing endpoint's own seeded stream, so per-
+// connection draw sequences remain deterministic. Existing connections
+// are unaffected; only connections dialed after SetLine join the line.
+func (nw *Network) SetLine(name string, link Link) error {
+	nw.clock.mu.Lock()
+	defer nw.clock.mu.Unlock()
+	l, ok := nw.listeners[name]
+	if !ok || l.closed {
+		return fmt.Errorf("simnet: no listener %q to attach a line to", name)
+	}
+	l.line = &line{link: link}
+	return nil
+}

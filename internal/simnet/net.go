@@ -49,6 +49,9 @@ type Listener struct {
 	// the acceptor was merely unlucky with the host scheduler.
 	backlog int
 	closed  bool
+	// line, when non-nil, is the shared transmitter server-side endpoints
+	// accepted from this listener serialize on; see Network.SetLine.
+	line *line
 }
 
 // Listen binds a virtual listener under name. Names are flat (no port
@@ -159,7 +162,7 @@ func (nw *Network) DialLink(name string, link Link) (net.Conn, error) {
 	cep := &endpoint{c: c, nw: nw, link: link, local: caddr, remote: simAddr(name),
 		rng: rand.New(rand.NewSource(dirSeed(link.Seed, 1)))}
 	sep := &endpoint{c: c, nw: nw, link: link, local: simAddr(name), remote: caddr,
-		rng: rand.New(rand.NewSource(dirSeed(link.Seed, 2)))}
+		rng: rand.New(rand.NewSource(dirSeed(link.Seed, 2))), line: l.line}
 	cep.peer, sep.peer = sep, cep
 
 	w := &waiter{}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/calib"
+	"repro/internal/cluster"
 	"repro/internal/codec"
 	"repro/internal/device"
 	"repro/internal/energy"
@@ -211,6 +212,32 @@ func NewProxyServerWith(decider SelectiveDecider, cfg ProxyConfig) *ProxyServer 
 
 // NewProxyClient returns a client for the proxy at addr.
 func NewProxyClient(addr string) *ProxyClient { return proxy.NewClient(addr) }
+
+// ClusterNode joins a proxy server to a consistent-hash ring of peers: it
+// serves the PXY-P peer protocol and hooks the server's miss path so cache
+// misses for artifact keys owned elsewhere fetch the finished compressed
+// artifact from the owner instead of recompressing. Hot keys (top-K by a
+// frequency sketch) are admitted into the local cache and replicated to
+// ring successors; Register broadcasts generation bumps ring-wide.
+type ClusterNode = cluster.Node
+
+// ClusterConfig wires one proxy server into a cluster: node identity, ring
+// membership, replication factor, hot-key admission budget and the peer
+// dial function.
+type ClusterConfig = cluster.Config
+
+// ClusterRing is the consistent-hash ring (hashed vnodes) mapping artifact
+// keys to owner nodes.
+type ClusterRing = cluster.Ring
+
+// NewClusterNode builds a cluster node and installs its peer-fetch hook on
+// the configured proxy server. Call Serve with the peer listener to accept
+// PXY-P traffic, and Close before the proxy shuts down.
+func NewClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return cluster.NewNode(cfg) }
+
+// NewClusterRing builds a ring over the node IDs; vnodes 0 selects the
+// default (64 per node).
+func NewClusterRing(nodes []string, vnodes int) *ClusterRing { return cluster.NewRing(nodes, vnodes) }
 
 // MetricsRegistry holds named counters, gauges and histograms; the proxy
 // server and client register their instruments on one, and its snapshot

@@ -5,15 +5,30 @@
 # scripts/bench_baseline.json). Commit the refreshed snapshot alongside
 # performance work so the trajectory of the kernels stays in the history.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 2s; e.g. 100x for a smoke run)
+# With a .scn spec as the second argument, the snapshot also carries that
+# committed scenario's fleet numbers (joules per raw MB, fetch outcomes,
+# virtual elapsed) at seed 1, pinning the bench trajectory to a declarative
+# workload instead of only the hardcoded microbenchmark corpus.
+#
+# Usage: scripts/bench.sh [benchtime] [spec.scn]
+#        (benchtime default 2s; e.g. 100x for a smoke run)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
+SPEC="${2:-}"
 OUT=BENCH_codec.json
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+SCN=$(mktemp)
+trap 'rm -f "$RAW" "$SCN"' EXIT
+
+# Run the pinned scenario first so a broken spec fails the bench before
+# the (slow) microbenchmarks run.
+if [ -n "$SPEC" ]; then
+	[ -f "$SPEC" ] || { echo "bench: spec not found: $SPEC" >&2; exit 1; }
+	go run ./cmd/loadgen -spec "$SPEC" -seed 1 | tee "$SCN"
+fi
 
 # The decompression kernels and their enclosing dataplane paths.
 go test -run '^$' \
@@ -32,6 +47,28 @@ go test -run '^$' -bench 'BenchmarkDecodeWalker$|BenchmarkDecodeTable$' \
 		cat scripts/bench_baseline.json
 	else
 		printf 'null'
+	fi
+	if [ -n "$SPEC" ]; then
+		printf ',\n  "scenario": '
+		awk -v spec="$SPEC" '
+			/^loadgen / {
+				for (i = 1; i <= NF; i++) {
+					if ($i ~ /^seed=/) { seed = $i; gsub(/[^0-9]/, "", seed) }
+					if ($(i+1) == "clients,") clients = $i
+					if ($(i+1) == "fetches") split($i, f, "/")
+					if ($(i+1) == "virtual") virtual = $i
+				}
+			}
+			/^energy: / {
+				for (i = 1; i <= NF; i++) if ($(i+1) == "J/MB") jpmb = $i
+			}
+			END {
+				printf "{\"spec\": \"%s\", \"seed\": %s, \"clients\": %s, \"fetches_ok\": %s, \"fetches\": %s, \"virtual\": \"%s\"", \
+					spec, seed, clients, f[1], f[2], virtual
+				if (jpmb != "") printf ", \"joules_per_mb\": %s", jpmb
+				printf "}"
+			}
+		' "$SCN"
 	fi
 	printf ',\n  "results": [\n'
 	awk '

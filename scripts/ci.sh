@@ -7,7 +7,9 @@
 # oracles (fixed seeds plus one printed random seed for replay), the
 # scenario-corpus gate (every declarative spec diffed against its golden
 # trace at two pinned seeds plus a wall-clock seed, then the 10k-client
-# load-generation fleet), the event-stream determinism + calibration gate
+# load-generation fleet), the cluster soak gate (3-node ring replayed
+# byte-identically at two pinned seeds, cluster-wide compression-count
+# oracle under -race), the event-stream determinism + calibration gate
 # (canonical telemetry JSONL byte-identical to its committed golden, and
 # Table 1 re-fitted from it to within 1%), a per-package coverage
 # ratchet, and an admin-plane smoke test over real HTTP. Every change to
@@ -101,6 +103,20 @@ for spec in testdata/scenarios/*.scn; do
 	"$GATE_DIR/energysim" soak -scenario "$spec" -seed "$RANDOM_SEED"
 done
 "$GATE_DIR/loadgen" -spec testdata/scenarios/loadgen/fleet-10k.scn -seed "$RANDOM_SEED"
+
+# Cluster soak gate: the 3-node consistent-hash ring scenario must replay
+# byte-identically at two pinned seeds (run twice, traces compared — on
+# top of the golden diff the corpus loop above already did), and the
+# cluster-scope oracles — at most one compression per artifact key
+# ring-wide, counters reconciled across nodes, ≥2x single-node aggregate
+# throughput — must hold under the race detector, peer protocol included.
+for seed in 1 2; do
+	"$GATE_DIR/energysim" soak -scenario testdata/scenarios/cluster-3.scn -seed "$seed" -trace >"$GATE_DIR/cluster-a"
+	"$GATE_DIR/energysim" soak -scenario testdata/scenarios/cluster-3.scn -seed "$seed" -trace >"$GATE_DIR/cluster-b"
+	cmp "$GATE_DIR/cluster-a" "$GATE_DIR/cluster-b"
+done
+go test -race -run 'TestCluster' ./internal/harness
+go test -race ./internal/cluster
 rm -rf "$GATE_DIR"
 
 # Coverage ratchet: per-package floors a few points under current levels,
@@ -121,6 +137,7 @@ check_cover() {
 	echo "coverage: $pkg ${pct}% (floor ${floor}%)"
 }
 check_cover ./internal/proxy 88
+check_cover ./internal/cluster 80
 check_cover ./internal/simnet 80
 check_cover ./internal/selective 89
 check_cover ./internal/harness 80
