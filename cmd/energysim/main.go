@@ -29,6 +29,14 @@
 // calibration report: energy-model coefficients re-fitted from that
 // telemetry against the paper's Table 1.
 //
+// -decider selects the selective-mode policy (static Eq. 6 or the
+// queue-aware dynamic decider), -deadline and -budget declare the
+// fleet's request attributes, and -differential runs the paired
+// static-vs-dynamic oracle instead of a single run:
+//
+//	energysim soak -seed 1 -decider dynamic -deadline standard -budget 50
+//	energysim soak -seed 1 -differential
+//
 // The calib subcommand fits a previously exported event stream:
 //
 //	energysim calib -events soak.jsonl
@@ -42,6 +50,7 @@ import (
 	"os"
 
 	"repro/internal/calib"
+	"repro/internal/decider"
 	"repro/internal/experiment"
 	"repro/internal/harness"
 	"repro/internal/obs/agg"
@@ -107,9 +116,24 @@ func runSoak(argv []string) error {
 		trace    = fs.Bool("trace", false, "print the full canonical trace instead of the digest")
 		events   = fs.String("events", "", "write the canonical wide-event stream as JSONL to this file")
 		calibOut = fs.Bool("calib", false, "print the post-run calibration report (model re-fit from telemetry)")
+		deciderP = fs.String("decider", "", "selective-mode decision policy: static (default, Eq. 6) or dynamic")
+		deadline = fs.String("deadline", "", "fleet deadline class: none, relaxed, standard or strict")
+		budget   = fs.Float64("budget", 0, "per-client advisory energy budget in joules (0 = undeclared)")
+		diff     = fs.Bool("differential", false, "run the paired static-vs-dynamic differential oracle instead of a single run")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+	if *deciderP != "" && *deciderP != "static" && *deciderP != "dynamic" {
+		return fmt.Errorf("soak: -decider %q: want static or dynamic", *deciderP)
+	}
+	class, ok := decider.ParseClass(*deadline)
+	if !ok {
+		return fmt.Errorf("soak: -deadline %q: want none, relaxed, standard or strict", *deadline)
+	}
+
+	if *diff {
+		return runDifferential(*specPath, *seed, *clients, *fetches, *fault, *churn, uint8(class), *budget)
 	}
 
 	var (
@@ -130,9 +154,15 @@ func runSoak(argv []string) error {
 		sc.FetchesPerClient = *fetches
 		sc.FaultRate = *fault
 		sc.Churn = *churn
+		sc.Decider = *deciderP
+		sc.DeadlineClass = uint8(class)
+		sc.BudgetJ = *budget
 		r, err = harness.Run(sc)
 		replay = fmt.Sprintf("energysim soak -seed %d -clients %d -fetches %d -fault %g -churn %d -trace",
 			*seed, *clients, *fetches, *fault, *churn)
+		if *deciderP != "" || *deadline != "" || *budget != 0 {
+			replay += fmt.Sprintf(" -decider %s -deadline %s -budget %g", *deciderP, *deadline, *budget)
+		}
 	}
 	if err != nil {
 		return err
@@ -180,6 +210,46 @@ func runSoak(argv []string) error {
 	if len(r.Violations) > 0 {
 		return fmt.Errorf("soak seed=%d: %d oracle violations; first: %s (replay: %s)",
 			*seed, len(r.Violations), r.Violations[0], replay)
+	}
+	return nil
+}
+
+// runDifferential executes the paired static-vs-dynamic differential
+// oracle (internal/harness.RunPaired): the same seeded scenario runs
+// under both deciders, payloads must stay byte-exact, and the dynamic
+// policy's modeled corpus energy must never exceed the static policy's.
+func runDifferential(specPath string, seed int64, clients, fetches int, fault float64, churn int, class uint8, budget float64) error {
+	var sc harness.Scenario
+	if specPath != "" {
+		spec, err := scenario.Load(specPath)
+		if err != nil {
+			return err
+		}
+		sc = spec.Compile(seed)
+	} else {
+		sc = harness.Default(seed)
+		sc.Clients = clients
+		sc.FetchesPerClient = fetches
+		sc.FaultRate = fault
+		sc.Churn = churn
+		sc.DeadlineClass = class
+		sc.BudgetJ = budget
+	}
+	d, err := harness.RunPaired(sc)
+	if err != nil {
+		return err
+	}
+	saved := 0.0
+	if d.StaticJ > 0 {
+		saved = 100 * (1 - d.DynamicJ/d.StaticJ)
+	}
+	fmt.Printf("differential seed=%d: corpus model energy static %.4g J, dynamic %.4g J (%.2f%% saved)\n",
+		seed, d.StaticJ, d.DynamicJ, saved)
+	for _, v := range d.Violations {
+		fmt.Fprintln(os.Stderr, "differential violation:", v)
+	}
+	if !d.OK() {
+		return fmt.Errorf("differential seed=%d: %d violations; first: %s", seed, len(d.Violations), d.Violations[0])
 	}
 	return nil
 }

@@ -12,6 +12,7 @@
 //
 //	loadgen -spec testdata/scenarios/loadgen/fleet-10k.scn -seed 1
 //	loadgen -spec spec.scn -clients 500 -fetches 3 -metrics
+//	loadgen -spec spec.scn -decider dynamic
 //
 // Exit status is non-zero if any oracle or bound is violated; the
 // first violation is printed so CI logs lead with the failure.
@@ -47,6 +48,7 @@ func run() error {
 		nodes    = flag.Int("nodes", 0, "override the spec's cluster node count (1 forces a single node)")
 		replicas = flag.Int("replicas", -1, "override the spec's hot-key replication factor")
 		hotK     = flag.Int("hotk", -1, "override the spec's hot-key admission budget")
+		deciderP = flag.String("decider", "", "override the spec's selective-mode policy (static or dynamic)")
 		metrics  = flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format")
 		events   = flag.String("events", "", "write the canonical wide-event stream as JSONL to this file")
 	)
@@ -78,6 +80,9 @@ func run() error {
 	}
 	if *hotK >= 0 {
 		spec.Cluster.HotK = *hotK
+	}
+	if *deciderP != "" {
+		spec.Decider = *deciderP
 	}
 	if err := spec.Validate(); err != nil {
 		return err

@@ -9,10 +9,18 @@
 //	proxyd -addr 127.0.0.1:7070 -corpus -cache-bytes 134217728 -workers 8
 //	proxyd -addr 127.0.0.1:7070 -corpus -fault-rate 0.01 -fault-seed 42
 //	proxyd -addr 127.0.0.1:7070 -corpus -admin 127.0.0.1:9090 -log-level info
+//	proxyd -addr 127.0.0.1:7070 -corpus -decider dynamic -calib soak.jsonl
 //	proxyd -addr 127.0.0.1:7070 -corpus -node-id a -peer-addr 127.0.0.1:7170 \
 //	    -peers b=127.0.0.1:7171,c=127.0.0.1:7172 -replicas 1 -hotk 64
 //
-// The last form joins a consistent-hash ring: this node plus every -peers
+// -decider dynamic swaps the selective-mode policy from the paper's
+// static Equation 6 to the queue-aware dynamic decider; -calib fits its
+// energy-model coefficients from a previously exported wide-event JSONL
+// stream (falling back to the static Table 1 set when the stream has no
+// usable fit). Selective-mode artifacts are cached under the decider's
+// fingerprint, so static and dynamic artifacts never alias.
+//
+// The cluster form joins a consistent-hash ring: this node plus every -peers
 // entry form the membership, cache misses for artifact keys owned by a
 // peer fetch the finished compressed artifact over the PXY-P protocol on
 // -peer-addr instead of recompressing, and hot keys replicate to -replicas
@@ -64,6 +72,9 @@ func run() error {
 		adminAddr  = flag.String("admin", "", "serve the admin plane (/metrics, /statsz, /tracez, /eventsz, /healthz, /debug/pprof) on this address")
 		logLevel   = flag.String("log-level", "warn", "structured log level: debug, info, warn, error")
 		eventsPath = flag.String("events", "", "write serve-side wide events as JSONL to this file")
+		deciderPol = flag.String("decider", "static", "selective-mode decision policy: static (Eq. 6) or dynamic (queue-aware energy model)")
+		calibPath  = flag.String("calib", "", "wide-event JSONL stream to fit the dynamic decider's coefficients from (requires -decider dynamic)")
+		calibDev   = flag.String("calib-device", "", "device class to take from -calib (default: first fitted device)")
 		nodeID     = flag.String("node-id", "", "this node's cluster ID (enables cluster mode)")
 		peerAddr   = flag.String("peer-addr", "", "listen address for the PXY-P peer protocol (required with -node-id)")
 		peersFlag  = flag.String("peers", "", "comma-separated id=host:port peer list forming the ring with this node")
@@ -96,6 +107,38 @@ func run() error {
 		MaxConns:   *maxConns,
 		Logger:     logger,
 		Events:     sink,
+	}
+	switch *deciderPol {
+	case "", "static":
+		if *calibPath != "" {
+			return fmt.Errorf("-calib requires -decider dynamic")
+		}
+	case "dynamic":
+		// The dynamic decider: calibrated coefficients when -calib fits,
+		// the static Table 1 set otherwise (the documented calib → static
+		// fallback order). The queue hook is left unset so the server binds
+		// its live compression-queue gauge at construction.
+		dcfg := repro.DynamicDeciderConfig{}
+		if *calibPath != "" {
+			fit, err := repro.LoadCalibrationFile(*calibPath, *calibDev)
+			if err != nil {
+				return err
+			}
+			params, applied := repro.ParamsFromCalibration(fit)
+			if applied {
+				dcfg.Base = params
+				dcfg.Calibrated = true
+				fmt.Printf("decider: calibrated from %s (device %s, max coefficient deviation %.2e)\n",
+					*calibPath, fit.Device, fit.MaxCoefRelErr())
+			} else {
+				fmt.Printf("decider: calibration %s had no usable fit; falling back to static Table 1 coefficients\n", *calibPath)
+			}
+		}
+		d := repro.NewDynamicDecider(dcfg)
+		cfg.Decider = d
+		fmt.Printf("decider: %s\n", d.Fingerprint())
+	default:
+		return fmt.Errorf("-decider %q: want static or dynamic", *deciderPol)
 	}
 	if *faultRate > 0 {
 		plan := repro.FaultPlan{

@@ -1,0 +1,77 @@
+package calib_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/calib"
+	"repro/internal/energy"
+)
+
+// exactFit builds a Fit whose five gated coefficients sit exactly on
+// their references, with sample counts large enough that nothing reads
+// as "regression did not run".
+func exactFit() calib.Fit {
+	ref := energy.Params11Mbps()
+	return calib.Fit{
+		Device: "ipaq-11mbps",
+		TdA:    ref.TdA, TdB: ref.TdB, TdC: ref.TdC, TdN: 100,
+		ESlope: calib.RefESlope(ref), EIntercept: ref.Cs, EN: 100,
+		M:   ref.M,
+		Ref: ref,
+	}
+}
+
+// TestWithinGateOnPerturbedFit is the calibration gate's sensitivity
+// check: the 1% CI gate (Within(0.01)) must actually trip. A fit with
+// any single coefficient off by 2% must fail the gate, one off by 0.5%
+// must pass it, and the exact fit must report (near-)zero deviation —
+// so a regression that silently skews one coefficient can never ride
+// through on the other four being perfect.
+func TestWithinGateOnPerturbedFit(t *testing.T) {
+	if f := exactFit(); f.MaxCoefRelErr() > 1e-12 {
+		t.Fatalf("exact fit reports deviation %g, want ~0", f.MaxCoefRelErr())
+	}
+
+	perturb := map[string]func(*calib.Fit, float64){
+		"TdA":        func(f *calib.Fit, k float64) { f.TdA *= k },
+		"TdB":        func(f *calib.Fit, k float64) { f.TdB *= k },
+		"TdC":        func(f *calib.Fit, k float64) { f.TdC *= k },
+		"ESlope":     func(f *calib.Fit, k float64) { f.ESlope *= k },
+		"EIntercept": func(f *calib.Fit, k float64) { f.EIntercept *= k },
+	}
+	for name, bend := range perturb {
+		for _, dir := range []float64{1.02, 0.98} {
+			f := exactFit()
+			bend(&f, dir)
+			if f.Within(0.01) {
+				t.Errorf("%s×%g: 2%% coefficient error passed the 1%% gate (deviation %g)",
+					name, dir, f.MaxCoefRelErr())
+			}
+			if got := f.MaxCoefRelErr(); got < 0.019 || got > 0.021 {
+				t.Errorf("%s×%g: deviation %g, want ≈0.02", name, dir, got)
+			}
+		}
+		f := exactFit()
+		bend(&f, 1.005)
+		if !f.Within(0.01) {
+			t.Errorf("%s×1.005: 0.5%% coefficient error failed the 1%% gate (deviation %g)",
+				name, f.MaxCoefRelErr())
+		}
+	}
+}
+
+// TestRenderFlagsPerturbedFit: the human-facing calibration report must
+// say "within 1%: no" for the perturbed fit — that string is what the CI
+// grep gates on.
+func TestRenderFlagsPerturbedFit(t *testing.T) {
+	good, bad := exactFit(), exactFit()
+	bad.TdB *= 1.02
+	out := calib.Render([]calib.Fit{good, bad})
+	if n := strings.Count(out, "within 1%: yes"); n != 1 {
+		t.Errorf("report has %d 'within 1%%: yes' lines, want exactly 1 (the exact fit):\n%s", n, out)
+	}
+	if strings.Count(out, "within 1%: no") != 1 {
+		t.Errorf("report does not flag the perturbed fit:\n%s", out)
+	}
+}

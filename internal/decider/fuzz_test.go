@@ -1,0 +1,87 @@
+package decider
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+// FuzzDynamicDecide throws arbitrary BlockContext values — negative and
+// overflowing sizes, zero/NaN/Inf rates, hostile queue depths, unknown
+// class bytes, garbage budgets — at the decider and requires totality:
+// no panic, a finite deterministic Decision, dominance over the static
+// baseline under the same scoring, and a decision that round-trips
+// through the decider fingerprint (rebuilding the decider from its
+// parsed fingerprint reproduces both the fingerprint and the decision).
+func FuzzDynamicDecide(f *testing.F) {
+	f.Add(128000, 50000, 0.6, false, 0, byte(0), 0.0, 0.0)
+	f.Add(3899, 100, 0.18, true, 4, byte(1), 1.5, 0.2)
+	f.Add(3900, 3900, 0.10, false, 32, byte(2), 0.0, 0.0)
+	f.Add(0, 0, 0.0, false, 0, byte(3), math.Inf(1), math.NaN())
+	f.Add(-1, -7, math.NaN(), true, -5, byte(200), -3.0, 1e300)
+	f.Add(1<<40, 1<<39, math.Inf(1), false, 1<<30, byte(255), 1e-9, 0.0)
+	f.Add(1, 1<<50, -1e308, true, 0, byte(4), 0.5, 0.5)
+	f.Fuzz(func(t *testing.T, rawLen, compLen int, rate float64, ps bool, queue int, classB byte, budget, spent float64) {
+		d := New(Config{Class: ClassFromByte(classB)})
+		ctx := BlockContext{
+			RawLen: rawLen, CompLen: compLen,
+			RateMBps: rate, PowerSave: ps,
+			QueueDepth: queue, Class: ClassFromByte(classB),
+			BudgetJ: budget, SpentJ: spent,
+		}
+		dec := d.Decide(ctx)
+
+		// Totality: every modeled number is finite (the deadline alone
+		// may be +Inf, for the unconstrained class), never NaN.
+		for name, v := range map[string]float64{
+			"EnergyJ": dec.EnergyJ, "AltEnergyJ": dec.AltEnergyJ, "LatencyS": dec.LatencyS,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s = %v for ctx %+v", name, v, ctx)
+			}
+		}
+		if math.IsNaN(dec.DeadlineS) {
+			t.Fatalf("DeadlineS is NaN for ctx %+v", ctx)
+		}
+
+		// Determinism: the same context decides the same way twice.
+		if again := d.Decide(ctx); again != dec {
+			t.Fatalf("Decide not deterministic:\n first %+v\n again %+v", dec, again)
+		}
+
+		// Dominance against the static baseline under the same scoring.
+		rawJ, compJ, _, _ := d.Evaluate(ctx)
+		statJ := rawJ
+		if dec.StaticCompress {
+			statJ = compJ
+		}
+		if dec.EnergyJ > statJ*(1+1e-12)+1e-300 {
+			t.Fatalf("dynamic %.9g J > static %.9g J for ctx %+v", dec.EnergyJ, statJ, ctx)
+		}
+
+		// The selective.Decider surface is total too.
+		d.ShouldCompress(rawLen, compLen)
+		if min := d.MinSizeBytes(); min < 1 || min > energy.PaperFileThresholdBytes {
+			t.Fatalf("MinSizeBytes %d outside [1, %d]", min, energy.PaperFileThresholdBytes)
+		}
+
+		// Fingerprint round trip: parse → rebuild → identical fingerprint
+		// and identical decision for this context.
+		fp := d.Fingerprint()
+		if fp2 := d.Fingerprint(); fp2 != fp {
+			t.Fatalf("fingerprint unstable: %q vs %q", fp, fp2)
+		}
+		cfg, ok := ParseFingerprint(fp)
+		if !ok {
+			t.Fatalf("own fingerprint does not parse: %q", fp)
+		}
+		rebuilt := New(cfg)
+		if got := rebuilt.Fingerprint(); got != fp {
+			t.Fatalf("fingerprint round trip drifted:\n in  %q\n out %q", fp, got)
+		}
+		if redec := rebuilt.Decide(ctx); redec != dec {
+			t.Fatalf("rebuilt decider decides differently:\n orig    %+v\n rebuilt %+v", dec, redec)
+		}
+	})
+}

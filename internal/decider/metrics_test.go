@@ -1,0 +1,77 @@
+package decider
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/obs"
+)
+
+// TestMetricsCountersTrackDecisions drives one decision down each
+// counted path — compress, raw, deadline-constrained, over-budget — and
+// checks the decider_* counters land exactly where the decisions did.
+func TestMetricsCountersTrackDecisions(t *testing.T) {
+	reg := obs.NewRegistry()
+	base := energy.Params11Mbps()
+	base.M = 12 // hot receive copy: compression pays but is slower than raw
+	d := New(Config{Base: base, Calibrated: true})
+	d.BindMetrics(reg)
+
+	ctx := BlockContext{RawLen: 6000, CompLen: 3000, RateMBps: 0.6}
+	if !d.Decide(ctx).Compress {
+		t.Fatal("premise: unconstrained hot-copy block must compress")
+	}
+	ctx.Class = ClassStrict
+	if dec := d.Decide(ctx); dec.Compress || !dec.Constrained {
+		t.Fatalf("premise: strict class must veto the slower compressed option: %+v", dec)
+	}
+	ctx.Class = ClassNone
+	ctx.BudgetJ, ctx.SpentJ = 1e-9, 1
+	if !d.Decide(ctx).OverBudget {
+		t.Fatal("premise: an exhausted budget must flag OverBudget")
+	}
+
+	for name, want := range map[string]int64{
+		"decider_decisions_total":            3,
+		"decider_compress_total":             2,
+		"decider_raw_total":                  1,
+		"decider_deadline_constrained_total": 1,
+		"decider_over_budget_total":          1,
+	} {
+		if got := reg.Counter(name, "").Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	// A nil registry is a no-op bind: the existing counters keep working.
+	d.BindMetrics(nil)
+	ctx.BudgetJ, ctx.SpentJ = 0, 0
+	d.Decide(ctx)
+	if got := reg.Counter("decider_decisions_total", "").Value(); got != 4 {
+		t.Errorf("decisions after nil rebind = %d, want 4", got)
+	}
+}
+
+// TestBindQueueDepthRespectsPinnedHook: the first bound hook wins, and a
+// constructor-pinned hook (the harness's determinism pin) survives the
+// proxy's later bind attempt. Negative depths clamp to zero.
+func TestBindQueueDepthRespectsPinnedHook(t *testing.T) {
+	d := New(Config{})
+	if got := d.liveQueue(); got != 0 {
+		t.Fatalf("nil hook: liveQueue = %d, want 0", got)
+	}
+	d.BindQueueDepth(func() int { return 7 })
+	if got := d.liveQueue(); got != 7 {
+		t.Fatalf("bound hook: liveQueue = %d, want 7", got)
+	}
+	d.BindQueueDepth(func() int { return 99 })
+	if got := d.liveQueue(); got != 7 {
+		t.Fatalf("second bind must not override the first: liveQueue = %d, want 7", got)
+	}
+
+	pinned := New(Config{Queue: func() int { return -3 }})
+	pinned.BindQueueDepth(func() int { return 42 })
+	if got := pinned.liveQueue(); got != 0 {
+		t.Fatalf("pinned negative hook: liveQueue = %d, want 0 (clamped, not rebound)", got)
+	}
+}

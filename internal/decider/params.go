@@ -1,0 +1,193 @@
+// Link-state parameter adaptation and the calib.Fit → energy.Params
+// adapter: the two input channels that turn the static Table 1 model
+// into the live model DynamicDecider decides against.
+package decider
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/calib"
+	"repro/internal/energy"
+	"repro/internal/wlan"
+)
+
+// linkAnchor pins the rate-dependent coefficients at one of the measured
+// 802.11b operating points (internal/wlan's Table-1-derived rate set).
+// Between anchors the decider interpolates linearly; beyond them it
+// clamps — extrapolating idle fractions past the measured range would
+// leave the model's validity envelope.
+type linkAnchor struct {
+	rateMBps float64 // effective application-layer rate
+	idleFrac float64 // fraction of download time the radio idles
+	m        float64 // receive-copy energy, J/MB
+	pi       float64 // idle power, W
+	pd       float64 // busy (decompress) power, W
+}
+
+// linkAnchors is ordered by rate: 1, 2, 5.5, 11 Mb/s nominal. The 1 and
+// 2 Mb/s points share the paper's Section 4.2 coefficient set (the radio
+// receives into deeper buffers and idles hotter); 5.5 and 11 Mb/s share
+// the Table 1 set.
+var linkAnchors = []linkAnchor{
+	{rateMBps: 0.10, idleFrac: 0.87, m: 2.556, pi: 2.15, pd: 3.10},
+	{rateMBps: 0.18, idleFrac: 0.815, m: 2.556, pi: 2.15, pd: 3.10},
+	{rateMBps: 0.40, idleFrac: 0.55, m: 2.486, pi: 1.55, pd: 2.85},
+	{rateMBps: 0.60, idleFrac: 0.40, m: 2.486, pi: 1.55, pd: 2.85},
+}
+
+// lerpAnchor interpolates the anchor table at rate, clamping outside the
+// measured range.
+func lerpAnchor(rate float64) linkAnchor {
+	if rate <= linkAnchors[0].rateMBps {
+		a := linkAnchors[0]
+		a.rateMBps = rate
+		return a
+	}
+	last := linkAnchors[len(linkAnchors)-1]
+	if rate >= last.rateMBps {
+		last.rateMBps = rate
+		return last
+	}
+	for i := 1; i < len(linkAnchors); i++ {
+		lo, hi := linkAnchors[i-1], linkAnchors[i]
+		if rate > hi.rateMBps {
+			continue
+		}
+		t := (rate - lo.rateMBps) / (hi.rateMBps - lo.rateMBps)
+		return linkAnchor{
+			rateMBps: rate,
+			idleFrac: lo.idleFrac + t*(hi.idleFrac-lo.idleFrac),
+			m:        lo.m + t*(hi.m-lo.m),
+			pi:       lo.pi + t*(hi.pi-lo.pi),
+			pd:       lo.pd + t*(hi.pd-lo.pd),
+		}
+	}
+	return last
+}
+
+// ParamsForLink adapts base to a live link state. The rate-dependent
+// coefficients (rate, idle fraction, idle/busy power) come from the
+// measured anchor table; the calibration-bearing coefficients (td's
+// a/b/c, the stream constant cs) stay base's, and the receive-copy m is
+// scaled so a calibrated offset at base's own rate carries across rates
+// proportionally (at the static Table 1 values the scaling is exactly 1,
+// so ParamsForLink(Params11Mbps(), 0.6, false) == Params11Mbps()).
+//
+// Power-save mode costs wlan.PowerSavePenalty of the effective rate and
+// drops the idle radio draw to the sleep-mode current (the radio dozes
+// between beacons; receive still needs it awake, so pd is unchanged).
+//
+// The function is total: non-finite or non-positive rates read as base's
+// rate, and the result is always finite with a strictly positive rate —
+// FuzzDynamicDecide leans on this.
+func ParamsForLink(base energy.Params, rateMBps float64, powerSave bool) energy.Params {
+	rate := rateMBps
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		rate = base.RateMBps
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		rate = energy.Params11Mbps().RateMBps
+	}
+	// Clamp to a physically meaningful band: 10 kB/s (far below 1 Mb/s
+	// nominal) up to 125 MB/s (gigabit); the model's closed forms stay
+	// finite and monotone inside it.
+	rate = math.Min(math.Max(rate, 0.01), 125)
+	if powerSave {
+		rate *= 1 - wlan.PowerSavePenalty
+	}
+
+	a := lerpAnchor(rate)
+	p := base
+	p.RateMBps = rate
+	p.IdleFrac = a.idleFrac
+
+	// Carry a calibrated m across rates proportionally to the anchor
+	// curve; a base already at an anchor value passes through unchanged.
+	baseAnchor := lerpAnchor(clampRate(base.RateMBps))
+	if baseAnchor.m > 0 && base.M > 0 {
+		p.M = a.m * (base.M / baseAnchor.m)
+	} else {
+		p.M = a.m
+	}
+	p.Pi = a.pi
+	p.Pd = a.pd
+	if powerSave {
+		// Idle gaps are spent dozing at the sleep current.
+		if base.PiSleep > 0 {
+			p.Pi = base.PiSleep
+		}
+	}
+	return p
+}
+
+func clampRate(r float64) float64 {
+	if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return energy.Params11Mbps().RateMBps
+	}
+	return math.Min(math.Max(r, 0.01), 125)
+}
+
+// ParamsFromFit overlays a fleet calibration on its reference parameter
+// set: the fitted td(s, sc) coefficients replace Table 1's when the td
+// regression ran, and the fitted E(s) line replaces the receive-copy m
+// and stream constant cs when the energy regression ran. The bool
+// reports whether any fitted coefficient was applied — false means the
+// caller should fall back to the static set (the fallback order README
+// documents: calib → static).
+func ParamsFromFit(f calib.Fit) (energy.Params, bool) {
+	p := f.Ref
+	if p.RateMBps <= 0 {
+		p = energy.Params11Mbps()
+	}
+	applied := false
+	if f.TdN > 0 && finiteAll(f.TdA, f.TdB, f.TdC) {
+		p.TdA, p.TdB, p.TdC = f.TdA, f.TdB, f.TdC
+		applied = true
+	}
+	if f.EN > 0 && finiteAll(f.M, f.EIntercept) && f.M > 0 {
+		p.M = f.M
+		p.Cs = f.EIntercept
+		applied = true
+	}
+	return p, applied
+}
+
+func finiteAll(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadCalibration reads a wide-event JSONL stream (the telemetry export
+// format), calibrates it, and returns the fit for the requested device
+// class ("" means the first fitted device). It is the loader behind
+// `proxyd -calib FILE` and the property suite's use of the committed
+// soak-seed1 stream.
+func LoadCalibration(path, device string) (calib.Fit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return calib.Fit{}, err
+	}
+	defer f.Close()
+	fits, err := calib.FromJSONL(f)
+	if err != nil {
+		return calib.Fit{}, fmt.Errorf("calibrating %s: %w", path, err)
+	}
+	if len(fits) == 0 {
+		return calib.Fit{}, fmt.Errorf("calibrating %s: no device had enough samples", path)
+	}
+	if device == "" {
+		return fits[0], nil
+	}
+	for _, fit := range fits {
+		if fit.Device == device {
+			return fit, nil
+		}
+	}
+	return calib.Fit{}, fmt.Errorf("calibrating %s: no fit for device %q", path, device)
+}

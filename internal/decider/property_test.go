@@ -1,0 +1,258 @@
+package decider
+
+// The property suite behind the ISSUE's acceptance gate: over swept link
+// rates (11/5.5/2/1 Mb/s), power-save on and off, every Table 3 workload
+// class, and seeded block streams at two pinned seeds, the dynamic
+// decider consuming the committed fleet calibration is
+//
+//  1. never worse than the static Eq. 6 decider in modeled total joules
+//     (per block and per stream), and
+//  2. never violates a deadline the static decider met,
+//
+// with both deciders scored by the same live model (Evaluate) — the same
+// scoring the differential soak oracle applies to whole runs.
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+// sweptRates are the paper's four 802.11b operating points as effective
+// application-layer MB/s (internal/wlan's measured set).
+var sweptRates = []struct {
+	name string
+	mbps float64
+}{
+	{"11Mbps", 0.60},
+	{"5.5Mbps", 0.40},
+	{"2Mbps", 0.18},
+	{"1Mbps", 0.10},
+}
+
+// table3Classes is every content class of Table 3.
+var table3Classes = []workload.Class{
+	workload.ClassXML, workload.ClassHTML, workload.ClassWebLog,
+	workload.ClassTarHTML, workload.ClassSource, workload.ClassPostscript,
+	workload.ClassPDF, workload.ClassBinary, workload.ClassClassFile,
+	workload.ClassAudio, workload.ClassGraphic, workload.ClassMedia,
+	workload.ClassRandom, workload.ClassMail, workload.ClassScript,
+}
+
+var deadlineClasses = []Class{ClassNone, ClassRelaxed, ClassStandard, ClassStrict}
+
+// propBlock is one seeded block with its measured compressed size.
+type propBlock struct {
+	rawLen, compLen int
+}
+
+// blockStream generates a seeded block stream for one workload class and
+// gzip-compresses each block once; the sweep over link states and
+// deadline classes below is then pure model arithmetic. Sizes straddle
+// every decision boundary: the 3900-byte file threshold, the selective
+// block size, and the in-between.
+var streamCache = struct {
+	sync.Mutex
+	m map[[2]int64][]propBlock
+}{m: map[[2]int64][]propBlock{}}
+
+func blockStream(t *testing.T, class workload.Class, seed int64) []propBlock {
+	t.Helper()
+	key := [2]int64{int64(class), seed}
+	streamCache.Lock()
+	cached, ok := streamCache.m[key]
+	streamCache.Unlock()
+	if ok {
+		return cached
+	}
+	c, err := codec.New(codec.Gzip, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(class)<<32))
+	sizes := []int{1, 2048, 3899, 3900, 4096, 20000, 127999, 128000}
+	for i := 0; i < 4; i++ {
+		sizes = append(sizes, 1+rng.Intn(200000))
+	}
+	blocks := make([]propBlock, 0, len(sizes))
+	for _, size := range sizes {
+		data := workload.Generate(class, size, uint64(seed)*1000003+uint64(size))
+		comp, err := c.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, propBlock{rawLen: len(data), compLen: len(comp)})
+	}
+	streamCache.Lock()
+	streamCache.m[key] = blocks
+	streamCache.Unlock()
+	return blocks
+}
+
+// calibratedBase loads the committed soak-seed1 calibration once per
+// test binary; every swept decider starts from its fitted coefficients.
+var calibratedBase = struct {
+	once sync.Once
+	p    energy.Params
+	err  error
+}{}
+
+// calibratedDecider builds the decider under test: coefficients from the
+// committed fleet calibration, link pinned to the swept state.
+func calibratedDecider(t *testing.T, rate float64, powerSave bool, class Class) *DynamicDecider {
+	t.Helper()
+	calibratedBase.once.Do(func() {
+		fit, err := LoadCalibration(goldenEvents, "")
+		if err != nil {
+			calibratedBase.err = err
+			return
+		}
+		p, ok := ParamsFromFit(fit)
+		if !ok {
+			calibratedBase.err = errNoFit
+			return
+		}
+		calibratedBase.p = p
+	})
+	if calibratedBase.err != nil {
+		t.Fatalf("loading committed calibration: %v", calibratedBase.err)
+	}
+	return New(Config{
+		Base:       calibratedBase.p,
+		Calibrated: true,
+		Class:      class,
+		Link:       func() (float64, bool) { return rate, powerSave },
+	})
+}
+
+var errNoFit = errors.New("committed calibration supplied no fitted coefficients")
+
+// staticChoice reconstructs the static Eq. 6 decider's block decision,
+// including its 3900-byte file floor (files below it are single-block,
+// so block length equals file length).
+func staticChoice(b propBlock) bool {
+	return b.rawLen >= energy.PaperFileThresholdBytes &&
+		energy.PaperShouldCompress(b.rawLen, b.compLen)
+}
+
+// TestDynamicNeverWorseThanStatic is property 1: on every swept
+// combination and both pinned seeds, the dynamic decider's modeled
+// joules never exceed the static Eq. 6 decider's, block-wise and summed
+// over the stream, under the decider's own live scoring.
+func TestDynamicNeverWorseThanStatic(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		for _, wc := range table3Classes {
+			blocks := blockStream(t, wc, seed)
+			for _, rate := range sweptRates {
+				for _, ps := range []bool{false, true} {
+					for _, dl := range deadlineClasses {
+						for _, queue := range []int{0, 4, 32} {
+							d := calibratedDecider(t, rate.mbps, ps, dl)
+							var dynSum, statSum float64
+							for _, b := range blocks {
+								ctx := BlockContext{
+									RawLen: b.rawLen, CompLen: b.compLen,
+									RateMBps: rate.mbps, PowerSave: ps,
+									QueueDepth: queue, Class: dl,
+								}
+								dec := d.Decide(ctx)
+								rawJ, compJ, _, _ := d.Evaluate(ctx)
+								statJ := rawJ
+								if staticChoice(b) {
+									statJ = compJ
+								}
+								if dec.StaticCompress != staticChoice(b) {
+									t.Fatalf("seed=%d %s %s ps=%v: static baseline drifted on block %+v",
+										seed, wc, rate.name, ps, b)
+								}
+								if dec.EnergyJ > statJ*(1+1e-12) {
+									t.Fatalf("seed=%d %s %s ps=%v dl=%s q=%d: dynamic %.9g J > static %.9g J on block %+v",
+										seed, wc, rate.name, ps, dl, queue, dec.EnergyJ, statJ, b)
+								}
+								dynSum += dec.EnergyJ
+								statSum += statJ
+							}
+							if dynSum > statSum*(1+1e-12) {
+								t.Fatalf("seed=%d %s %s ps=%v dl=%s q=%d: stream dynamic %.9g J > static %.9g J",
+									seed, wc, rate.name, ps, dl, queue, dynSum, statSum)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicNeverViolatesDeadlineStaticMet is property 2: wherever the
+// static choice met the deadline, the dynamic choice meets it too.
+func TestDynamicNeverViolatesDeadlineStaticMet(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		for _, wc := range table3Classes {
+			blocks := blockStream(t, wc, seed)
+			for _, rate := range sweptRates {
+				for _, ps := range []bool{false, true} {
+					for _, dl := range deadlineClasses {
+						for _, queue := range []int{0, 4, 32} {
+							d := calibratedDecider(t, rate.mbps, ps, dl)
+							for _, b := range blocks {
+								ctx := BlockContext{
+									RawLen: b.rawLen, CompLen: b.compLen,
+									RateMBps: rate.mbps, PowerSave: ps,
+									QueueDepth: queue, Class: dl,
+								}
+								dec := d.Decide(ctx)
+								_, _, rawT, compT := d.Evaluate(ctx)
+								statT := rawT
+								if staticChoice(b) {
+									statT = compT
+								}
+								if statT <= dec.DeadlineS && dec.LatencyS > dec.DeadlineS*(1+1e-12) {
+									t.Fatalf("seed=%d %s %s ps=%v dl=%s q=%d: dynamic latency %.9g s busts deadline %.9g s the static decider met (%.9g s) on block %+v",
+										seed, wc, rate.name, ps, dl, queue, dec.LatencyS, dec.DeadlineS, statT, b)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicBeatsStaticSomewhere guards against a vacuous pass: the
+// dynamic decider must actually differ from (and beat) the static one on
+// at least one swept combination — otherwise the dominance property
+// would hold trivially because the two always agree.
+func TestDynamicBeatsStaticSomewhere(t *testing.T) {
+	wins := 0
+	for _, seed := range []int64{1, 2} {
+		for _, wc := range table3Classes {
+			blocks := blockStream(t, wc, seed)
+			for _, rate := range sweptRates {
+				d := calibratedDecider(t, rate.mbps, false, ClassNone)
+				for _, b := range blocks {
+					ctx := BlockContext{RawLen: b.rawLen, CompLen: b.compLen, RateMBps: rate.mbps}
+					dec := d.Decide(ctx)
+					rawJ, compJ, _, _ := d.Evaluate(ctx)
+					statJ := rawJ
+					if staticChoice(b) {
+						statJ = compJ
+					}
+					if dec.EnergyJ < statJ {
+						wins++
+					}
+				}
+			}
+		}
+	}
+	if wins == 0 {
+		t.Fatal("dynamic decider never strictly beat static Eq. 6 on any swept block — the dominance property is passing vacuously")
+	}
+	t.Logf("dynamic strictly beat static on %d swept blocks", wins)
+}

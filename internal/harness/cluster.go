@@ -73,7 +73,10 @@ func runCluster(s Scenario) (*Report, error) {
 	for k := 0; k < s.Nodes; k++ {
 		id := ids[k]
 		srv := proxy.NewServerWith(nil, proxy.Config{
-			Clock:    clock,
+			Clock: clock,
+			// Each node gets its own decider instance so per-node metric
+			// registries never share counters.
+			Decider:  buildDecider(s),
 			MaxConns: s.Clients + 2,
 			FlightWait: func(done <-chan struct{}) {
 				for {
@@ -161,6 +164,8 @@ func runCluster(s Scenario) (*Report, error) {
 			cli.RetryMaxDelay = 200 * time.Millisecond
 			cli.Rand = rand.New(rand.NewSource(mix(s.Seed, int64(2000+i))))
 			cli.Tracer = tracer
+			cli.DeadlineClass = s.DeadlineClass
+			cli.EnergyBudgetJ = s.BudgetJ
 			cli.Dial = func() (net.Conn, error) {
 				dials++
 				link := s.Link

@@ -29,9 +29,11 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/decider"
 	"repro/internal/obs"
 	"repro/internal/proxy"
 	"repro/internal/proxy/faultconn"
+	"repro/internal/selective"
 	"repro/internal/simnet"
 	"repro/internal/workload"
 )
@@ -69,6 +71,18 @@ type Scenario struct {
 	// Timeout is the per-attempt connection deadline in virtual time
 	// (default 2 minutes — far beyond any healthy transfer).
 	Timeout time.Duration
+	// Decider selects the server's selective-mode decision policy: "" or
+	// "static" keeps the paper's Equation 6; "dynamic" installs
+	// internal/decider's queue-aware policy with its link state pinned to
+	// the scenario's base rate and its queue depth pinned to zero — live
+	// hooks would couple block decisions to goroutine interleaving and
+	// break the canonical-trace replay guarantee.
+	Decider string
+	// DeadlineClass and BudgetJ are the request attributes every client
+	// declares (decider.ClassFromByte vocabulary; joules). Zero values
+	// keep clients on the plain GET op, byte-identical to older traces.
+	DeadlineClass uint8
+	BudgetJ       float64
 	// Corpus, when non-empty, replaces the built-in nine-file corpus:
 	// each entry is generated from the scenario seed by content class or,
 	// when Ratio is set, by the compressibility knob. Entries must have
@@ -312,6 +326,15 @@ func (r *Report) Trace() string {
 		fmt.Fprintf(&b, " nodes=%d replicas=%d hotk=%d peerlink=%.0fBps",
 			s.Nodes, s.Replicas, s.HotK, s.PeerLink.BytesPerSec)
 	}
+	if s.Decider != "" || s.DeadlineClass != 0 || s.BudgetJ != 0 {
+		// Same rule as the cluster suffix: the decider fields appear only
+		// when a scenario sets them, so pre-decider goldens never shift.
+		dec := s.Decider
+		if dec == "" {
+			dec = "static"
+		}
+		fmt.Fprintf(&b, " decider=%s class=%d budget=%g", dec, s.DeadlineClass, s.BudgetJ)
+	}
 	b.WriteByte('\n')
 	for _, rec := range r.Records {
 		status := rec.Err
@@ -344,6 +367,21 @@ func mix(seed, salt int64) int64 {
 var schemes = []codec.Scheme{codec.Gzip, codec.Compress, codec.Bzip2}
 var modes = []proxy.Mode{proxy.ModeRaw, proxy.ModePrecompressed, proxy.ModeOnDemand, proxy.ModeSelective}
 
+// buildDecider constructs the scenario's selective-mode policy: nil for
+// the static default (NewServerWith falls back to the paper's Eq. 6), or
+// a dynamic decider with both live hooks pinned — the link to the
+// scenario's base rate, the queue to zero — so every block decision is a
+// pure function of block sizes and the trace replay guarantee holds.
+func buildDecider(s Scenario) selective.Decider {
+	if s.Decider != "dynamic" {
+		return nil
+	}
+	return decider.New(decider.Config{
+		Link:  func() (float64, bool) { return s.Link.BytesPerSec / 1e6, false },
+		Queue: func() int { return 0 },
+	})
+}
+
 // Run executes the scenario and checks every oracle. The returned error
 // covers harness plumbing failures only; oracle violations land in
 // Report.Violations so a caller can print them alongside the trace.
@@ -367,7 +405,8 @@ func Run(s Scenario) (*Report, error) {
 		return nil, err
 	}
 	srv := proxy.NewServerWith(nil, proxy.Config{
-		Clock: clock,
+		Clock:   clock,
+		Decider: buildDecider(s),
 		// Never shed: ConnsTotal == Σ attempts must hold exactly, and a
 		// busy-shed path would couple one client's timeline to another's.
 		MaxConns: s.Clients + 2,
@@ -407,6 +446,8 @@ func Run(s Scenario) (*Report, error) {
 			cli.RetryMaxDelay = 200 * time.Millisecond
 			cli.Rand = rand.New(rand.NewSource(mix(s.Seed, int64(2000+i))))
 			cli.Tracer = tracer
+			cli.DeadlineClass = s.DeadlineClass
+			cli.EnergyBudgetJ = s.BudgetJ
 			// Each dial gets its own jitter seed (via DialLink) and its own
 			// fault stream (via plan.Wrap's per-id rng), both derived from
 			// (scenario seed, client, dial ordinal) — so a client's wire

@@ -83,6 +83,15 @@ type Client struct {
 	// modeled per-class joules. Nil costs the fetch hot path nothing —
 	// not even an allocation.
 	Events *export.Sink
+	// DeadlineClass, when nonzero, declares this handheld's latency class
+	// to the server (decider.ClassFromByte vocabulary: 1 relaxed, 2
+	// standard, 3 strict). EnergyBudgetJ, when positive, declares its
+	// remaining energy budget in joules (advisory; the server counts
+	// over-budget decisions, it never degrades the transfer). Either being
+	// set upgrades requests to the extended GET op; both zero keeps the
+	// wire frames byte-identical to a pre-extension client.
+	DeadlineClass uint8
+	EnergyBudgetJ float64
 	// DeviceClass tags emitted events with the handheld's device class
 	// (e.g. export.DeviceIPAQ11), the calibrator's grouping key. Empty is
 	// read downstream as the paper's primary 11 Mb/s configuration.
@@ -378,6 +387,20 @@ func (c *Client) listOnce() ([]string, error) {
 	return names, nil
 }
 
+// budgetMilliJoules folds a joule budget into the wire's uint32
+// millijoule field, saturating instead of overflowing (a budget past ~4.3
+// megajoules is indistinguishable from unlimited anyway).
+func budgetMilliJoules(j float64) uint32 {
+	if !(j > 0) { // also rejects NaN
+		return 0
+	}
+	mj := j * 1000
+	if mj >= float64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(mj)
+}
+
 // decoded is one block's decompression outcome, in order.
 type decoded struct {
 	data []byte
@@ -555,6 +578,11 @@ func (c *Client) fetchOnce(name string, scheme codec.Scheme, mode Mode, reqID ui
 
 	hdrStart := clk.Now()
 	req := request{Op: opGet, Name: name, Scheme: scheme, Mode: mode, Offset: uint64(len(verified)), ReqID: reqID}
+	if c.DeadlineClass != 0 || c.EnergyBudgetJ > 0 {
+		req.Op = opGetEx
+		req.Class = c.DeadlineClass
+		req.BudgetMJ = budgetMilliJoules(c.EnergyBudgetJ)
+	}
 	if err := writeRequest(conn, req); err != nil {
 		return out, false, err
 	}

@@ -31,6 +31,12 @@ func TestRegenFuzzCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	write("FuzzReadRequest", "seed-valid-get", get.Bytes())
+
+	var getEx bytes.Buffer
+	if err := writeRequest(&getEx, request{Op: opGetEx, Name: "index.txt", Scheme: 1, Mode: ModeSelective, Offset: 128_000, ReqID: 0xC0FFEE, Class: 2, BudgetMJ: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	write("FuzzReadRequest", "seed-valid-getex", getEx.Bytes())
 	write("FuzzReadRequest", "seed-bad-magic", append([]byte("QXY3"), get.Bytes()[4:]...))
 	write("FuzzReadRequest", "seed-overlong-name", []byte("PXY3\x02\xff\xfe"))
 	write("FuzzReadRequest", "seed-bad-crc", append(get.Bytes()[:get.Len()-1], get.Bytes()[get.Len()-1]^0xFF))

@@ -12,11 +12,16 @@ import (
 func FuzzReadRequest(f *testing.F) {
 	// Well-formed GET (with a resume offset and a request ID) and LIST
 	// requests, built by the writer so their trailing CRCs are valid.
-	var get, list bytes.Buffer
+	var get, getEx, list bytes.Buffer
 	_ = writeRequest(&get, request{Op: opGet, Name: "doc.xml", Scheme: 1, Mode: ModeSelective, Offset: 128_000, ReqID: 0xFEED})
+	_ = writeRequest(&getEx, request{Op: opGetEx, Name: "doc.xml", Scheme: 1, Mode: ModeSelective, Offset: 128_000, ReqID: 0xFEED, Class: 3, BudgetMJ: 2500})
 	_ = writeRequest(&list, request{Op: opList})
 	f.Add(get.Bytes())
+	f.Add(getEx.Bytes())
 	f.Add(list.Bytes())
+	// An extended GET truncated at the old tail length: the CRC must
+	// refuse it rather than the parser misreading the attribute bytes.
+	f.Add(getEx.Bytes()[:getEx.Len()-5])
 	// Bad magic (including the previous protocol generation), bad CRC,
 	// truncation at every interesting boundary, oversized name.
 	f.Add([]byte("QXY3\x02\x00\x07doc.xml\x01\x03"))

@@ -72,6 +72,10 @@ type metrics struct {
 
 	cacheEntries *obs.Gauge
 	cacheBytes   *obs.Gauge
+	// compressQueueDepth counts requests currently queued for or holding a
+	// compression worker slot — the backlog signal the dynamic decider
+	// prices server-side waiting with.
+	compressQueueDepth *obs.Gauge
 
 	latency *obs.Histogram
 
@@ -113,6 +117,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 
 		cacheEntries: reg.Gauge("proxy_cache_entries", "Artifacts currently cached."),
 		cacheBytes:   reg.Gauge("proxy_cache_bytes", "Bytes currently charged to the artifact cache."),
+
+		compressQueueDepth: reg.Gauge("server_compress_queue_depth",
+			"Requests queued for or holding a compression worker slot."),
 
 		latency: reg.Histogram("proxy_conn_seconds", "Per-connection wall time.", latencyBoundsSeconds()),
 
@@ -182,6 +189,9 @@ type Stats struct {
 	// CacheEntries / CacheBytes are the cache's current occupancy.
 	CacheEntries int
 	CacheBytes   int64
+	// CompressQueueDepth is the instantaneous compression backlog:
+	// requests queued for or holding a worker slot at snapshot time.
+	CompressQueueDepth int64
 
 	// Payload bytes that crossed the wire in raw and compressed blocks.
 	BytesServedRaw        int64
@@ -222,6 +232,7 @@ func (m *metrics) snapshot() Stats {
 		Compressions:          m.compressions.Value(),
 		Evictions:             m.evictions.Value(),
 		CacheRejects:          m.cacheRejects.Value(),
+		CompressQueueDepth:    m.compressQueueDepth.Value(),
 		BytesServedRaw:        m.bytesRaw.Value(),
 		BytesServedCompressed: m.bytesCompressed.Value(),
 		PeerFetches:           m.peerFetches.Value(),
@@ -257,6 +268,9 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "cache: %d hits, %d misses, %d coalesced, %d compressions, %d evictions, %d rejects\n",
 		s.CacheHits, s.CacheMisses, s.Coalesced, s.Compressions, s.Evictions, s.CacheRejects)
 	fmt.Fprintf(&b, "cache occupancy: %d entries, %d bytes\n", s.CacheEntries, s.CacheBytes)
+	if s.CompressQueueDepth != 0 {
+		fmt.Fprintf(&b, "compress queue: %d waiting or running\n", s.CompressQueueDepth)
+	}
 	fmt.Fprintf(&b, "served: %d bytes raw, %d bytes compressed\n", s.BytesServedRaw, s.BytesServedCompressed)
 	fmt.Fprintf(&b, "conns: %d total, %d active, %d rejected, %d errors\n",
 		s.ConnsTotal, s.ConnsActive, s.ConnsRejected, s.Errors)

@@ -38,6 +38,11 @@ const (
 
 	opList = 0x01
 	opGet  = 0x02
+	// opGetEx is a GET whose tail carries the request's deadline class and
+	// energy budget (the dynamic decider's per-request inputs). It is a
+	// separate op rather than a widening of opGet so that clients with no
+	// attributes to declare keep emitting byte-identical opGet frames.
+	opGetEx = 0x03
 
 	statusOK       = 0x00
 	statusNotFound = 0x01
@@ -65,6 +70,9 @@ const (
 	// reqTailLen is scheme + mode + offset + request ID + CRC, after the
 	// name.
 	reqTailLen = 1 + 1 + 8 + 8 + 4
+	// reqTailExLen is the opGetEx tail: the opGet tail plus a deadline
+	// class byte and a millijoule energy budget, before the CRC.
+	reqTailExLen = reqTailLen + 1 + 4
 	// getHeaderLen is status + raw size + scheme + offset + CRC.
 	getHeaderLen = 1 + 8 + 1 + 8 + 4
 	// blockHeaderLen is flag + raw length + payload length + payload CRC.
@@ -137,6 +145,20 @@ type request struct {
 	Mode   Mode
 	Offset uint64
 	ReqID  uint64
+	// Class and BudgetMJ ride only on opGetEx frames: the handheld's
+	// deadline class (decider.ClassFromByte vocabulary) and its remaining
+	// energy budget in millijoules (0 = undeclared). On opGet they are
+	// always zero.
+	Class    uint8
+	BudgetMJ uint32
+}
+
+// tailLen is the per-op request tail size after the name.
+func (r request) tailLen() int {
+	if r.Op == opGetEx {
+		return reqTailExLen
+	}
+	return reqTailLen
 }
 
 func writeRequest(w io.Writer, req request) error {
@@ -144,7 +166,7 @@ func writeRequest(w io.Writer, req request) error {
 	if len(name) > maxNameLen {
 		return fmt.Errorf("%w: name too long", ErrProtocol)
 	}
-	buf := make([]byte, 0, reqFixedLen+len(name)+reqTailLen)
+	buf := make([]byte, 0, reqFixedLen+len(name)+req.tailLen())
 	buf = append(buf, protoMagic...)
 	buf = append(buf, req.Op)
 	var n16 [2]byte
@@ -157,6 +179,12 @@ func writeRequest(w io.Writer, req request) error {
 	buf = append(buf, u64[:]...)
 	binary.BigEndian.PutUint64(u64[:], req.ReqID)
 	buf = append(buf, u64[:]...)
+	if req.Op == opGetEx {
+		buf = append(buf, req.Class)
+		var u32 [4]byte
+		binary.BigEndian.PutUint32(u32[:], req.BudgetMJ)
+		buf = append(buf, u32[:]...)
+	}
 	// The CRC covers everything after the magic, so a bit-flipped request
 	// is rejected server-side instead of fetching the wrong file.
 	var crc [4]byte
@@ -179,7 +207,7 @@ func readRequest(r io.Reader) (request, error) {
 	if nameLen > maxNameLen {
 		return request{}, fmt.Errorf("%w: name length %d", ErrProtocol, nameLen)
 	}
-	rest := make([]byte, nameLen+reqTailLen)
+	rest := make([]byte, nameLen+req.tailLen())
 	if _, err := io.ReadFull(r, rest); err != nil {
 		return request{}, fmt.Errorf("%w: truncated request: %v", ErrProtocol, err)
 	}
@@ -194,6 +222,10 @@ func readRequest(r io.Reader) (request, error) {
 	req.Mode = Mode(body[nameLen+1])
 	req.Offset = binary.BigEndian.Uint64(body[nameLen+2:])
 	req.ReqID = binary.BigEndian.Uint64(body[nameLen+10:])
+	if req.Op == opGetEx {
+		req.Class = body[nameLen+18]
+		req.BudgetMJ = binary.BigEndian.Uint32(body[nameLen+19:])
+	}
 	return req, nil
 }
 

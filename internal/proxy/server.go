@@ -73,6 +73,12 @@ type Config struct {
 	// Logger receives structured request/error logs tagged with the
 	// client-propagated request ID. Nil discards.
 	Logger *slog.Logger
+	// Decider, when set, is the selective-mode decision policy for servers
+	// built with a nil decider argument — the way proxyd injects the
+	// dynamic, calibration-fed decider without every NewServerWith caller
+	// growing a parameter. An explicit decider argument wins; nil both
+	// here and there selects the paper's Equation 6.
+	Decider selective.Decider
 	// Events, when set, receives one wide event per finished serve span
 	// via a tee on the tracer's Finish path, and backs the admin plane's
 	// /eventsz endpoint. The sink never blocks the dataplane (full
@@ -162,6 +168,14 @@ const defaultTraceCap = 256
 // deciderFingerprint distinguishes decision policies in cache keys, so two
 // servers' (or a reconfigured server's) artifacts never alias.
 func deciderFingerprint(d selective.Decider) string {
+	// A decider that names its own policy (the dynamic decider does, with
+	// its coefficient set and deadline class baked in) is trusted over the
+	// reflective fallback: its fingerprint changes exactly when its
+	// decisions can, so dynamic and static artifacts never alias even when
+	// both would choose identically on some content.
+	if f, ok := d.(interface{ Fingerprint() string }); ok {
+		return f.Fingerprint()
+	}
 	switch d.(type) {
 	case selective.AlwaysCompress:
 		return fpAlways
@@ -180,6 +194,9 @@ func NewServer(decider selective.Decider) *Server {
 
 // NewServerWith returns a server with an explicit dataplane configuration.
 func NewServerWith(decider selective.Decider, cfg Config) *Server {
+	if decider == nil {
+		decider = cfg.Decider
+	}
 	if decider == nil {
 		decider = selective.PaperDecider{}
 	}
@@ -229,6 +246,15 @@ func NewServerWith(decider selective.Decider, cfg Config) *Server {
 		s.cache = newBlockCache(cfg.CacheBytes, cfg.Shards, s.metrics)
 	}
 	s.flights.wait = cfg.FlightWait
+	// A queue-aware decider gets the live compression-queue depth (the
+	// decider_* counters land on the same registry). Both bindings are
+	// optional interfaces so this package needs no decider dependency.
+	if qa, ok := decider.(interface{ BindQueueDepth(func() int) }); ok {
+		qa.BindQueueDepth(func() int { return int(s.metrics.compressQueueDepth.Value()) })
+	}
+	if mb, ok := decider.(interface{ BindMetrics(*obs.Registry) }); ok {
+		mb.BindMetrics(reg)
+	}
 	return s
 }
 
@@ -390,7 +416,11 @@ func (s *Server) getOrCompress(key cacheKey, content []byte, scheme codec.Scheme
 			}
 		}
 		// Backpressure: block for a worker slot rather than compressing
-		// unboundedly; abort if the server is shutting down.
+		// unboundedly; abort if the server is shutting down. The gauge
+		// covers the whole queued-or-compressing window — it is the queue
+		// depth the dynamic decider reads to price server-side waiting.
+		s.metrics.compressQueueDepth.Add(1)
+		defer s.metrics.compressQueueDepth.Add(-1)
 		select {
 		case s.workerSem <- struct{}{}:
 		case <-s.closed:
@@ -581,7 +611,7 @@ func (s *Server) handle(conn net.Conn) (err error) {
 	case opList:
 		span.SetAttr("op", "list")
 		return s.handleList(bw)
-	case opGet:
+	case opGet, opGetEx:
 		span.SetAttr("op", "get")
 		span.SetAttr("name", req.Name)
 		span.SetAttr("scheme", req.Scheme.String())
@@ -686,6 +716,18 @@ func (s *Server) blocksFor(req request, content []byte, gen uint64, span *obs.Sp
 		d, fp = selective.AlwaysCompress{}, fpAlways
 	case ModeSelective:
 		d, fp = s.decider, s.deciderFP
+		// An opGetEx request that declared attributes gets a per-request
+		// policy derivation when the decider supports it (the dynamic
+		// decider folds the deadline class into its fingerprint, so blocks
+		// shaped by a stricter deadline never serve a laxer request from
+		// cache, or vice versa).
+		if req.Class != 0 || req.BudgetMJ != 0 {
+			if pr, ok := s.decider.(interface {
+				ForRequest(uint8, uint32) (selective.Decider, string)
+			}); ok {
+				d, fp = pr.ForRequest(req.Class, req.BudgetMJ)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("%w: mode %d", ErrProtocol, int(req.Mode))
 	}

@@ -26,6 +26,9 @@ func (s *Spec) Compile(seed int64) harness.Scenario {
 		Churn:            s.Churn,
 		MaxRetries:       s.MaxRetries,
 		Timeout:          s.Timeout,
+		Decider:          s.Decider,
+		DeadlineClass:    deadlineTokens[s.Deadline],
+		BudgetJ:          s.Budget,
 	}
 	if s.Link != (Link{}) {
 		sc.Link = simnet.Link{BytesPerSec: s.Link.Rate, Latency: s.Link.Latency, JitterFrac: s.Link.Jitter}

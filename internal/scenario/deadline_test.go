@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/decider"
+)
+
+// TestDeadlineTokens pins the grammar's deadline vocabulary to
+// internal/decider's: every token must parse to the class whose wire
+// byte the spec compiles to, and every class must spell itself as a
+// token the grammar accepts. A drift here would silently reinterpret
+// committed specs.
+func TestDeadlineTokens(t *testing.T) {
+	for tok, b := range deadlineTokens {
+		c, ok := decider.ParseClass(tok)
+		if !ok {
+			t.Errorf("grammar token %q unknown to decider.ParseClass", tok)
+			continue
+		}
+		if uint8(c) != b {
+			t.Errorf("token %q: grammar byte %d, decider class %d", tok, b, uint8(c))
+		}
+	}
+	for c := decider.ClassNone; c <= decider.ClassStrict; c++ {
+		b, ok := deadlineTokens[c.String()]
+		if !ok {
+			t.Errorf("decider class %d spells %q, not a grammar token", uint8(c), c.String())
+			continue
+		}
+		if b != uint8(c) {
+			t.Errorf("class %v: grammar maps %q to byte %d, want %d", c, c.String(), b, uint8(c))
+		}
+	}
+	if len(deadlineTokens) != 4 {
+		t.Errorf("deadlineTokens has %d entries, want 4", len(deadlineTokens))
+	}
+}

@@ -18,7 +18,12 @@ fault 0.02
 churn 3
 maxretries 12
 timeout 90s
+decider dynamic
+deadline standard
+budget 25
 link rate 180000 latency 5ms jitter 0.1
+cluster nodes 2 replicas 1 hotk 8
+peerlink rate 240000 latency 1ms jitter 0.05
 linkat 200ms rate 600000
 linkat 1s rate 180000
 powersave 400ms 100ms
@@ -38,7 +43,10 @@ func TestParseFullSpec(t *testing.T) {
 	want := &Spec{
 		Name: "kitchen-sink", Clients: 4, Fetches: 6, Fault: 0.02, Churn: 3,
 		MaxRetries: 12, Timeout: 90 * time.Second,
+		Decider: "dynamic", Deadline: "standard", Budget: 25,
 		Link:      Link{Rate: 180000, Latency: 5 * time.Millisecond, Jitter: 0.1},
+		Cluster:   ClusterSpec{Nodes: 2, Replicas: 1, HotK: 8},
+		PeerLink:  Link{Rate: 240000, Latency: time.Millisecond, Jitter: 0.05},
 		LinkAt:    []RateChange{{200 * time.Millisecond, 600000}, {time.Second, 180000}},
 		PowerSave: []Window{{400 * time.Millisecond, 100 * time.Millisecond}},
 		Files: []FileSpec{
@@ -86,6 +94,8 @@ func TestParseErrors(t *testing.T) {
 		{"timeout 5\n", "missing unit"},
 		{"link rate\n", "dangling key"},
 		{"link speed 3\n", "unknown key"},
+		{"budget much\n", "invalid syntax"},
+		{"peerlink rate x\n", "invalid syntax"},
 		{"linkat 1s speed 3\n", "linkat DUR rate F"},
 		{"file\n", "file needs a name"},
 		{"file x class warez size 9\n", "unknown content class"},
@@ -120,6 +130,27 @@ func TestValidateRejects(t *testing.T) {
 		"sched budget":    func(s *Spec) { s.LinkAt = make([]RateChange, maxSchedEvents+1) },
 		"neg maxretries":  func(s *Spec) { s.MaxRetries = -1 },
 		"timeout horizon": func(s *Spec) { s.Timeout = 2 * time.Hour },
+		"bad decider":     func(s *Spec) { s.Decider = "oracle" },
+		"bad deadline":    func(s *Spec) { s.Deadline = "whenever" },
+		"budget range":    func(s *Spec) { s.Budget = maxBudgetJ + 1 },
+		"neg budget":      func(s *Spec) { s.Budget = -1 },
+		"neg fetches":     func(s *Spec) { s.Fetches = -1 },
+		"churn range":     func(s *Spec) { s.Churn = 20000 },
+		"link latency":    func(s *Spec) { s.Link = Link{Rate: 1e6, Latency: time.Minute} },
+		"nodes cap":       func(s *Spec) { s.Cluster.Nodes = maxNodes + 1 },
+		"orphan hotk":     func(s *Spec) { s.Cluster.HotK = 8 },
+		"replicas range":  func(s *Spec) { s.Cluster = ClusterSpec{Nodes: 2, Replicas: 2} },
+		"hotk range":      func(s *Spec) { s.Cluster = ClusterSpec{Nodes: 2, HotK: 5000} },
+		"orphan peerlink": func(s *Spec) { s.PeerLink = Link{Rate: 1e6} },
+		"peerlink rate":   func(s *Spec) { s.Cluster.Nodes = 2; s.PeerLink = Link{Rate: 10} },
+		"peerlink lat":    func(s *Spec) { s.Cluster.Nodes = 2; s.PeerLink = Link{Rate: 1e6, Latency: time.Minute} },
+		"peerlink jitter": func(s *Spec) { s.Cluster.Nodes = 2; s.PeerLink = Link{Rate: 1e6, Jitter: 2} },
+		"linkat horizon":  func(s *Spec) { s.LinkAt = []RateChange{{maxHorizon + time.Second, 1e6}} },
+		"file budget":     func(s *Spec) { s.Files = make([]FileSpec, maxFiles+1) },
+		"file name":       func(s *Spec) { s.Files = []FileSpec{{Name: "bad name", Ratio: 2, Size: 10}} },
+		"maxvirtual cap":  func(s *Spec) { s.Expect.MaxVirtual = maxHorizon + time.Hour },
+		"maxattempts cap": func(s *Spec) { s.Expect.MaxAttempts = 2000 },
+		"neg joules":      func(s *Spec) { s.Expect.MaxJoulesPerMB = -1 },
 	} {
 		s := base()
 		breaks(s)
@@ -173,6 +204,14 @@ func TestCompile(t *testing.T) {
 	}
 	if len(sc.Corpus) != 2 || sc.Corpus[0].Class != workload.ClassMail || sc.Corpus[1].Ratio != 2.5 {
 		t.Fatalf("compiled corpus wrong: %+v", sc.Corpus)
+	}
+	if sc.Nodes != 2 || sc.Replicas != 1 || sc.HotK != 8 || sc.PeerLink.BytesPerSec != 240000 {
+		t.Fatalf("compiled cluster wrong: nodes=%d replicas=%d hotk=%d peerlink=%+v",
+			sc.Nodes, sc.Replicas, sc.HotK, sc.PeerLink)
+	}
+	if sc.Decider != "dynamic" || sc.DeadlineClass != deadlineTokens["standard"] || sc.BudgetJ != 25 {
+		t.Fatalf("compiled decider wrong: decider=%q class=%d budget=%g",
+			sc.Decider, sc.DeadlineClass, sc.BudgetJ)
 	}
 	if len(sc.Schedule) == 0 {
 		t.Fatal("schedule did not compile")

@@ -45,6 +45,17 @@ type Spec struct {
 	// and per-attempt virtual deadline.
 	MaxRetries int
 	Timeout    time.Duration
+	// Decider selects the server's selective-mode decision policy:
+	// "static" (the paper's Equation 6, also the "" default) or "dynamic"
+	// (the queue-aware, link-adaptive decider of internal/decider).
+	Decider string
+	// Deadline is the fleet's declared deadline class ("none", "relaxed",
+	// "standard", "strict"); "" leaves requests undeclared. Budget is each
+	// client's advisory energy budget in joules (0 = undeclared). Both
+	// ride the extended GET op, so a spec setting neither replays
+	// byte-identically to the pre-attribute grammar.
+	Deadline string
+	Budget   float64
 	// Link is the base shared medium; the zero value selects the
 	// paper's 11 Mb/s WaveLAN shape.
 	Link Link
@@ -175,6 +186,12 @@ func Parse(data []byte) (*Spec, error) {
 			err = wantArgs(f, 1, func() error { s.MaxRetries, err = pInt(f[1]); return err })
 		case "timeout":
 			err = wantArgs(f, 1, func() error { s.Timeout, err = pDur(f[1]); return err })
+		case "decider":
+			err = wantArgs(f, 1, func() error { s.Decider = f[1]; return nil })
+		case "deadline":
+			err = wantArgs(f, 1, func() error { s.Deadline = f[1]; return nil })
+		case "budget":
+			err = wantArgs(f, 1, func() error { s.Budget, err = pFloat(f[1]); return err })
 		case "link":
 			err = parsePairs(f[1:], map[string]func(string) error{
 				"rate":    func(v string) (e error) { s.Link.Rate, e = pFloat(v); return },
@@ -292,6 +309,15 @@ func Format(s *Spec) []byte {
 	if s.Timeout != 0 {
 		fmt.Fprintf(&b, "timeout %s\n", s.Timeout)
 	}
+	if s.Decider != "" {
+		fmt.Fprintf(&b, "decider %s\n", s.Decider)
+	}
+	if s.Deadline != "" {
+		fmt.Fprintf(&b, "deadline %s\n", s.Deadline)
+	}
+	if s.Budget != 0 {
+		fmt.Fprintf(&b, "budget %s\n", ff(s.Budget))
+	}
 	if s.Link != (Link{}) {
 		fmt.Fprintf(&b, "link rate %s latency %s jitter %s\n", ff(s.Link.Rate), s.Link.Latency, ff(s.Link.Jitter))
 	}
@@ -358,7 +384,18 @@ const (
 	maxSchedEvents = 32
 	maxHorizon     = 24 * time.Hour
 	maxNodes       = 16
+	maxBudgetJ     = 1e6
 )
+
+// deadlineTokens maps the grammar's deadline-class names onto the wire's
+// class byte (the decider.ClassFromByte vocabulary). Kept in sync with
+// internal/decider by TestDeadlineTokens.
+var deadlineTokens = map[string]uint8{
+	"none":     0,
+	"relaxed":  1,
+	"standard": 2,
+	"strict":   3,
+}
 
 // Validate checks ranges, budgets and cross-field rules. A valid spec
 // is guaranteed to compile into a runnable harness scenario: in
@@ -395,6 +432,15 @@ func (s *Spec) Validate() error {
 	}
 	if s.Timeout < 0 || s.Timeout > time.Hour {
 		return fmt.Errorf("timeout %s outside [0, 1h]", s.Timeout)
+	}
+	if s.Decider != "" && s.Decider != "static" && s.Decider != "dynamic" {
+		return fmt.Errorf("decider %q: want static or dynamic", s.Decider)
+	}
+	if _, ok := deadlineTokens[s.Deadline]; !ok && s.Deadline != "" {
+		return fmt.Errorf("deadline %q: want none/relaxed/standard/strict", s.Deadline)
+	}
+	if s.Budget < 0 || s.Budget > maxBudgetJ {
+		return fmt.Errorf("budget %g outside [0, %g]", s.Budget, float64(maxBudgetJ))
 	}
 	if s.Link != (Link{}) {
 		if s.Link.Rate < minRate || s.Link.Rate > maxRate {

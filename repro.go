@@ -32,6 +32,7 @@ import (
 	"repro/internal/calib"
 	"repro/internal/cluster"
 	"repro/internal/codec"
+	"repro/internal/decider"
 	"repro/internal/device"
 	"repro/internal/energy"
 	"repro/internal/experiment"
@@ -153,6 +154,56 @@ type (
 
 // SelectiveBlockSize is the 0.128 MB compression buffer.
 const SelectiveBlockSize = selective.BlockSize
+
+// DynamicDecider is the queue-aware, link-adaptive selective-mode policy:
+// it re-evaluates the energy model per block against the live link rate,
+// power-save flag and server compression-queue depth, honoring a deadline
+// class, and is property-proven never worse in modeled joules than the
+// paper's static Equation 6 under the same model. It implements
+// SelectiveDecider, so it drops into ProxyConfig.Decider and every
+// selective encode path.
+type DynamicDecider = decider.DynamicDecider
+
+// DynamicDeciderConfig assembles a DynamicDecider: base (possibly
+// calibrated) model parameters, live link and queue hooks, default
+// deadline class and advisory energy budget. The zero value is valid —
+// static Table 1 constants, link pinned at 11 Mb/s, empty queue.
+type DynamicDeciderConfig = decider.Config
+
+// DeadlineClass is a client's declared latency slack for compression
+// wins, as a multiple of the raw transfer time.
+type DeadlineClass = decider.Class
+
+// The deadline classes, loosest to tightest.
+const (
+	DeadlineNone     = decider.ClassNone
+	DeadlineRelaxed  = decider.ClassRelaxed
+	DeadlineStandard = decider.ClassStandard
+	DeadlineStrict   = decider.ClassStrict
+)
+
+// ParseDeadlineClass maps a class name ("none", "relaxed", "standard",
+// "strict") to its DeadlineClass; the scenario grammar and the proxyd /
+// energysim flags share this vocabulary.
+func ParseDeadlineClass(s string) (DeadlineClass, bool) { return decider.ParseClass(s) }
+
+// NewDynamicDecider builds the dynamic decider.
+func NewDynamicDecider(cfg DynamicDeciderConfig) *DynamicDecider { return decider.New(cfg) }
+
+// LoadCalibrationFile reads a wide-event JSONL stream (the telemetry
+// export format), calibrates it, and returns the fit for the requested
+// device class ("" selects the first fitted device) — the loader behind
+// `proxyd -calib FILE`.
+func LoadCalibrationFile(path, device string) (CalibrationFit, error) {
+	return decider.LoadCalibration(path, device)
+}
+
+// ParamsFromCalibration overlays a fleet calibration on its reference
+// parameter set. The bool reports whether any fitted coefficient was
+// applied; false means the caller should fall back to the static set.
+func ParamsFromCalibration(f CalibrationFit) (EnergyModel, bool) {
+	return decider.ParamsFromFit(f)
+}
 
 // SelectiveEncode applies the Figure 10 block-by-block adaptive scheme and
 // returns the container bytes plus summary statistics.

@@ -7,7 +7,9 @@
 # oracles (fixed seeds plus one printed random seed for replay), the
 # scenario-corpus gate (every declarative spec diffed against its golden
 # trace at two pinned seeds plus a wall-clock seed, then the 10k-client
-# load-generation fleet), the cluster soak gate (3-node ring replayed
+# load-generation fleet), the decider gate (dominance and deadline
+# properties of the dynamic decider under -race, its fuzz target, and
+# the paired static-vs-dynamic differential soak), the cluster soak gate (3-node ring replayed
 # byte-identically at two pinned seeds, cluster-wide compression-count
 # oracle under -race), the event-stream determinism + calibration gate
 # (canonical telemetry JSONL byte-identical to its committed golden, and
@@ -47,7 +49,16 @@ go test -race -run 'TestFetchCompletesUnderFaults|TestFetchResumes|TestMalicious
 go test -race ./internal/obs
 go test -race -run 'TestObservabilityEndToEnd|TestPermanentErrorClassification' ./internal/proxy
 
+# The decider property gate: the dynamic queue-aware decider must never
+# cost more modeled joules than the static Eq. 6 choice, never violate a
+# deadline the static choice met, and beat static somewhere — swept over
+# the 11/5.5/2/1 Mb/s link rates, power-save on/off and every Table 3
+# workload class, with calibrated coefficients from the committed
+# soak-seed1 stream, under -race.
+go test -race -run 'TestDynamicNeverWorseThanStatic|TestDynamicNeverViolatesDeadlineStaticMet|TestDynamicBeatsStaticSomewhere' ./internal/decider
+
 go test -run='^$' -fuzz=FuzzScenarioSpec -fuzztime=10s ./internal/scenario
+go test -run='^$' -fuzz=FuzzDynamicDecide -fuzztime=10s ./internal/decider
 go test -run='^$' -fuzz=FuzzReadRequest -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzReadBlockFrame -fuzztime=10s ./internal/proxy
 go test -run='^$' -fuzz=FuzzGzipDifferential -fuzztime=10s ./internal/flate
@@ -71,6 +82,14 @@ rm -f /tmp/soak-a.$$ /tmp/soak-b.$$
 RANDOM_SEED=$(date +%s)
 echo "soak random seed: $RANDOM_SEED (replay: go run ./cmd/energysim soak -seed $RANDOM_SEED -clients 4 -fetches 10 -trace)"
 $SOAK -seed "$RANDOM_SEED"
+
+# Differential soak gate: paired same-seed static-vs-dynamic runs at two
+# pinned seeds — byte-exact payloads, modeled-energy dominance (strict,
+# on a corpus where the policies genuinely diverge) and the deadline
+# implication, under -race — then the CLI surface of the same oracle.
+go test -race -run 'TestDifferentialSoak|TestDynamicDeciderTraceDeterministic' ./internal/harness
+$SOAK -seed 1 -differential
+$SOAK -seed 2 -differential
 
 # Event-stream determinism gate: the canonical wide-event JSONL of a
 # seeded soak must be byte-identical run to run AND match the committed
@@ -145,6 +164,7 @@ check_cover ./internal/obs 86
 check_cover ./internal/obs/export 90
 check_cover ./internal/obs/agg 90
 check_cover ./internal/calib 84
+check_cover ./internal/decider 85
 check_cover ./internal/energy 87
 check_cover ./internal/scenario 88
 check_cover ./internal/workload 93
